@@ -1,0 +1,73 @@
+"""E10 — ablations of the clustering design choices (DESIGN.md §5).
+
+(a) contraction target exponent: contracting to n/D^x trades clustering
+    rounds against per-cluster memory for the path-collection stage;
+(b) head/tail coin bias: p(contract) = bias*(1-bias) is maximised at
+    1/2 — skewed coins need more steps for the same target.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core.verification import verify_mst
+
+from common import diameter_instance
+
+N = 4096
+D = 128
+
+
+def _exponent_sweep():
+    rows = []
+    for ex in (0.5, 1.0, 1.5, 2.0):
+        g = diameter_instance(N, D)
+        r = verify_mst(g, oracle_labels=True, reduction_exponent=ex)
+        assert r.is_mst
+        rows.append((
+            ex, len(r.cluster_counts) - 1, r.cluster_counts[-1],
+            r.core_rounds, r.report.peak_global_words,
+        ))
+    return rows
+
+
+def _bias_sweep():
+    rows = []
+    for bias in (0.1, 0.3, 0.5, 0.7, 0.9):
+        g = diameter_instance(N, D)
+        r = verify_mst(g, oracle_labels=True, coin_bias=bias)
+        assert r.is_mst
+        rows.append((bias, len(r.cluster_counts) - 1, r.core_rounds))
+    return rows
+
+
+def test_e10_exponent(table_sink, benchmark):
+    rows = _exponent_sweep()
+    g = diameter_instance(N, D)
+    benchmark.pedantic(
+        lambda: verify_mst(g, oracle_labels=True, reduction_exponent=1.0),
+        rounds=3, iterations=1,
+    )
+    table_sink(
+        f"E10a: contraction target exponent (n={N}, D_T={D}; "
+        "target = n/D^x)",
+        render_table(
+            ["exponent", "steps", "final clusters", "core rounds",
+             "peak words"],
+            rows,
+        ),
+    )
+    # stronger contraction -> fewer clusters, more steps
+    assert rows[0][2] >= rows[-1][2]
+    assert rows[0][1] <= rows[-1][1]
+
+
+def test_e10_bias(table_sink, benchmark):
+    rows = benchmark.pedantic(_bias_sweep, rounds=1, iterations=1)
+    table_sink(
+        f"E10b: head/tail coin bias (n={N}, D_T={D})",
+        render_table(["bias", "steps", "core rounds"], rows),
+    )
+    steps = {bias: s for bias, s, _ in rows}
+    # extreme biases should not beat the balanced coin
+    assert steps[0.5] <= steps[0.1]
+    assert steps[0.5] <= steps[0.9]

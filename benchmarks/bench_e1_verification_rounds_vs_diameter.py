@@ -1,0 +1,53 @@
+"""E1 — Theorem 3.1: verification rounds scale with log D_T, not log n.
+
+Sweep: backbone-tree MST instances, n fixed, D_T in {8..2048}, m = 3n.
+Columns: the paper-contributed core rounds (with cited substrates
+assumed, `oracle` column) and end-to-end rounds including our substitute
+substrates (`full`), against the Θ(log n)-shaped recompute baseline.
+Expected shape: `core(D)` ≈ a·log2(D)+b; baseline flat-ish and larger
+than core at low D.
+"""
+
+import pytest
+
+from repro.analysis import fit_log, render_table
+from repro.baselines import verify_by_recompute_mpc
+from repro.core.verification import verify_mst
+from repro.mpc import LocalRuntime
+
+from common import DIAMETERS, N_DEFAULT, diameter_instance
+
+
+def _sweep():
+    rows = []
+    for d in DIAMETERS:
+        g = diameter_instance(N_DEFAULT, d)
+        orc = verify_mst(g, oracle_labels=True)
+        assert orc.is_mst
+        full = verify_mst(g)
+        rt = LocalRuntime()
+        assert verify_by_recompute_mpc(rt, g)
+        rows.append((d, orc.core_rounds, full.rounds, rt.rounds))
+    return rows
+
+
+def test_e1_table(table_sink, benchmark):
+    rows = _sweep()
+    g = diameter_instance(N_DEFAULT, DIAMETERS[2])
+    benchmark.pedantic(
+        lambda: verify_mst(g, oracle_labels=True), rounds=3, iterations=1
+    )
+    fit = fit_log([r[0] for r in rows], [r[1] for r in rows])
+    table_sink(
+        "E1: verification rounds vs D_T  "
+        f"(n={N_DEFAULT}, m=3n; core fit: {fit.slope:.1f}*log2(D)"
+        f"{fit.intercept:+.1f}, R2={fit.r2:.3f})",
+        render_table(
+            ["D_T", "core rounds (Thm 3.1)", "end-to-end rounds",
+             "recompute baseline rounds"],
+            rows,
+        ),
+    )
+    assert fit.r2 > 0.9
+    core = [r[1] for r in rows]
+    assert core == sorted(core)

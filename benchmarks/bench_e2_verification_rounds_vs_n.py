@@ -1,0 +1,53 @@
+"""E2 — Theorem 3.1: at fixed D_T, rounds are flat in n; the recompute
+baseline grows with n.
+
+Sweep: n in {1024..8192}, D_T = 16 fixed, path-shaped weights on the
+baseline's worst shape so its Borůvka phases actually grow. Expected
+shape: core rounds ~constant; baseline rounds increase with n.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import mpc_boruvka
+from repro.core.verification import verify_mst
+from repro.graph.generators import attach_nontree_edges, path_tree
+from repro.mpc import LocalRuntime
+
+from common import N_SWEEP, diameter_instance
+
+FIXED_D = 16
+
+
+def _sweep():
+    rows = []
+    for n in N_SWEEP:
+        g = diameter_instance(n, FIXED_D)
+        core = verify_mst(g, oracle_labels=True).core_rounds
+        # baseline on its hard shape at the same n (path MST: pairwise merges)
+        gp = attach_nontree_edges(path_tree(n), 2 * n, rng=1, mode="mst")
+        rt = LocalRuntime()
+        res = mpc_boruvka(rt, gp)
+        rows.append((n, core, rt.rounds, res.phases))
+    return rows
+
+
+def test_e2_table(table_sink, benchmark):
+    rows = _sweep()
+    g = diameter_instance(N_SWEEP[1], FIXED_D)
+    benchmark.pedantic(
+        lambda: verify_mst(g, oracle_labels=True), rounds=3, iterations=1
+    )
+    table_sink(
+        f"E2: rounds vs n at fixed D_T={FIXED_D}",
+        render_table(
+            ["n", "core rounds (Thm 3.1)", "Boruvka rounds (path MST)",
+             "Boruvka phases"],
+            rows,
+        ),
+    )
+    core = [r[1] for r in rows]
+    base = [r[2] for r in rows]
+    # core flat in n (within 50%), baseline grows
+    assert max(core) - min(core) <= 0.5 * min(core)
+    assert base[-1] > base[0]

@@ -1,0 +1,58 @@
+"""E3 — optimal utilisation: peak global memory is linear, while the §3
+strawman (full path collection, no clustering) needs Θ(n·D_T) words.
+
+Sweep: n fixed, D_T grows; column ratio = naive / pipeline peak words.
+Expected shape: pipeline flat (linear in m+n), naive growing ~linearly
+with D_T.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import naive_verify_mst
+from repro.core.verification import verify_mst
+from repro.mpc import LocalRuntime
+
+from common import diameter_instance
+
+N = 2048
+DIAMS = (8, 64, 512, 1500)
+
+
+def _sweep():
+    rows = []
+    for d in DIAMS:
+        g = diameter_instance(N, d)
+        pipe = verify_mst(g, oracle_labels=True)
+        rt = LocalRuntime()
+        naive = naive_verify_mst(rt, g)
+        assert pipe.is_mst and naive.is_mst
+        rows.append((
+            d,
+            pipe.report.peak_global_words,
+            naive.peak_words,
+            naive.peak_words / pipe.report.peak_global_words,
+        ))
+    return rows
+
+
+def test_e3_table(table_sink, benchmark):
+    rows = _sweep()
+    g = diameter_instance(N, DIAMS[2])
+    rt = LocalRuntime()
+    benchmark.pedantic(lambda: naive_verify_mst(LocalRuntime(), g),
+                       rounds=3, iterations=1)
+    table_sink(
+        f"E3: peak global memory (words) vs D_T  (n={N}, m=3n)",
+        render_table(
+            ["D_T", "pipeline (Thm 3.1)", "naive path-collection (§3)",
+             "naive/pipeline"],
+            rows,
+        ),
+    )
+    pipeline = [r[1] for r in rows]
+    naive = [r[2] for r in rows]
+    # pipeline linear: stays within a constant factor across the sweep
+    assert max(pipeline) <= 3 * min(pipeline)
+    # naive superlinear in D_T
+    assert naive[-1] > 10 * naive[0]

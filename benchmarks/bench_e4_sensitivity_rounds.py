@@ -1,0 +1,48 @@
+"""E4 — Theorem 4.1: sensitivity rounds are O(log D_T), a constant
+factor above verification.
+
+Sweep as E1; columns: verification core rounds, sensitivity core
+rounds, their ratio, and the peak live note count (Claim 4.13: O(n)).
+"""
+
+import pytest
+
+from repro.analysis import fit_log, render_table
+from repro.core.sensitivity import mst_sensitivity
+from repro.core.verification import verify_mst
+
+from common import DIAMETERS, N_DEFAULT, diameter_instance
+
+
+def _sweep():
+    rows = []
+    for d in DIAMETERS:
+        g = diameter_instance(N_DEFAULT, d)
+        v = verify_mst(g, oracle_labels=True)
+        s = mst_sensitivity(g, oracle_labels=True)
+        rows.append((d, v.core_rounds, s.core_rounds,
+                     s.core_rounds / v.core_rounds, s.notes_peak))
+    return rows
+
+
+def test_e4_table(table_sink, benchmark):
+    rows = _sweep()
+    g = diameter_instance(N_DEFAULT, DIAMETERS[2])
+    benchmark.pedantic(
+        lambda: mst_sensitivity(g, oracle_labels=True), rounds=3,
+        iterations=1,
+    )
+    fit = fit_log([r[0] for r in rows], [r[2] for r in rows])
+    table_sink(
+        f"E4: sensitivity rounds vs D_T  (n={N_DEFAULT}; sens fit: "
+        f"{fit.slope:.1f}*log2(D){fit.intercept:+.1f}, R2={fit.r2:.3f})",
+        render_table(
+            ["D_T", "verify core", "sens core", "sens/verify",
+             "notes peak (<= O(n))"],
+            rows,
+        ),
+    )
+    assert fit.r2 > 0.9
+    for _, v, s, ratio, notes in rows:
+        assert 1.0 < ratio < 6.0
+        assert notes <= 6 * N_DEFAULT

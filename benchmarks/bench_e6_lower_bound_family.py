@@ -1,0 +1,49 @@
+"""E6 — Theorem 5.2: the 1-vs-2-cycle family.
+
+Graph diameter stays 2, yet the candidate tree's diameter is Θ(n), and
+the measured rounds grow with log D_T = Θ(log n) — the conditional
+lower bound says no verifier can avoid this. Both family sides are
+verified (one-cycle: accept; two-cycle: reject as not-a-tree).
+"""
+
+import pytest
+
+from repro.analysis import fit_log, render_table
+from repro.core.verification import verify_mst
+
+from common import lower_bound_instance
+
+SIZES = (64, 256, 1024, 4096)
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        g1 = lower_bound_instance(n, False)
+        g2 = lower_bound_instance(n, True)
+        r1 = verify_mst(g1, oracle_labels=True)
+        r2 = verify_mst(g2, oracle_labels=True)
+        assert r1.is_mst and not r2.is_mst
+        rows.append((n, 2, n, r1.rounds, r2.reason))
+    return rows
+
+
+def test_e6_table(table_sink, benchmark):
+    rows = _sweep()
+    g = lower_bound_instance(SIZES[2], False)
+    benchmark.pedantic(
+        lambda: verify_mst(g, oracle_labels=True), rounds=3, iterations=1
+    )
+    fit = fit_log([r[0] for r in rows], [r[3] for r in rows])
+    table_sink(
+        f"E6: 1-vs-2-cycle hard family (rounds fit: {fit.slope:.1f}"
+        f"*log2(n){fit.intercept:+.1f}, R2={fit.r2:.3f})",
+        render_table(
+            ["n", "diam(G)", "D_T ~", "rounds (1-cycle side)",
+             "2-cycle verdict"],
+            rows,
+        ),
+    )
+    assert fit.r2 > 0.8
+    r = [row[3] for row in rows]
+    assert r == sorted(r) and r[-1] > r[0]

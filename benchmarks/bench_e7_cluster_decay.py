@@ -1,0 +1,80 @@
+"""E7 — Lemma 2.8 / Corollary 3.6 / Observation 2.10 / Lemma 4.6.
+
+Cluster count decays geometrically per contraction step; total merge
+records stay O(n); sensitivity notes stay O(n). One row per contraction
+step of a representative build plus summary columns across shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core.hierarchy import build_hierarchy
+from repro.core.sensitivity import mst_sensitivity
+from repro.graph.generators import tree_instance
+from repro.mpc import LocalRuntime
+
+from common import shape_instance
+
+SHAPES = ("path", "binary", "caterpillar", "random")
+N = 4096
+
+
+def _decay_curve():
+    t = tree_instance("caterpillar", N, 1)
+    rt = LocalRuntime()
+    _, low, high = t.euler_intervals()
+    d = max(1, t.diameter())
+    h = build_hierarchy(rt, t.parent, np.zeros(N), t.root, low, high, d)
+    rows = []
+    for step, c in enumerate(h.counts):
+        prev = h.counts[step - 1] if step else c
+        rows.append((step, c, round(c / prev, 3) if step else 1.0))
+    return rows, h
+
+
+def _shape_summary():
+    rows = []
+    for shape in SHAPES:
+        g = shape_instance(shape, N, seed=2)
+        s = mst_sensitivity(g, oracle_labels=True)
+        tm = g.tree_mask
+        t = None
+        from repro.graph.tree import RootedTree
+
+        t = RootedTree.from_edges(g.n, g.u[tm], g.v[tm], g.w[tm], root=0)
+        rt = LocalRuntime()
+        _, low, high = t.euler_intervals()
+        d = max(1, t.diameter())
+        h = build_hierarchy(rt, t.parent, t.weight, t.root, low, high, d)
+        rows.append((
+            shape, d, len(h.counts) - 1, h.final_count, h.target,
+            h.total_cluster_records(), s.notes_peak,
+        ))
+        assert h.total_cluster_records() <= N       # Observation 2.10
+        assert s.notes_peak <= 6 * N                # Lemma 4.6/Claim 4.13
+    return rows
+
+
+def test_e7_decay_table(table_sink, benchmark):
+    rows, h = _decay_curve()
+    benchmark.pedantic(_decay_curve, rounds=3, iterations=1)
+    table_sink(
+        f"E7a: cluster-count decay per contraction step "
+        f"(caterpillar, n={N}, target={h.target})",
+        render_table(["step", "clusters", "ratio vs prev"], rows),
+    )
+    # geometric decay overall: the full build shrinks by >= 10x
+    assert rows[-1][1] <= max(1, N // 10)
+
+
+def test_e7_shape_summary(table_sink, benchmark):
+    rows = benchmark.pedantic(_shape_summary, rounds=1, iterations=1)
+    table_sink(
+        f"E7b: hierarchy/notes linearity across shapes (n={N})",
+        render_table(
+            ["shape", "D_T", "steps", "final clusters", "target",
+             "merge records (O(n))", "notes peak (O(n))"],
+            rows,
+        ),
+    )

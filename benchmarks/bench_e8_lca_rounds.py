@@ -1,0 +1,63 @@
+"""E8 — Theorem 2.15: all-edges LCA in O(log D_T) rounds, linear memory.
+
+Sweep D_T at fixed n and query-edge count; report rounds of the LCA
+phase alone (clustering + climb + unwind) and verify against the
+binary-lifting oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_log, render_table
+from repro.core.hierarchy import build_hierarchy
+from repro.core.lca import all_edges_lca
+from repro.graph.generators import backbone_tree
+from repro.mpc import LocalRuntime
+
+N = 4096
+N_QUERIES = 8192
+DIAMS = (8, 32, 128, 512, 2048)
+
+
+def _run(d, seed=0):
+    tree = backbone_tree(N, d, rng=seed + d)
+    rng = np.random.default_rng(seed + 1)
+    eu = rng.integers(0, N, N_QUERIES)
+    ev = rng.integers(0, N - 1, N_QUERIES)
+    ev = np.where(ev >= eu, ev + 1, ev)
+    rt = LocalRuntime()
+    _, low, high = tree.euler_intervals()
+    h = build_hierarchy(rt, tree.parent, np.zeros(N), tree.root, low, high, d)
+    cluster_rounds = rt.rounds
+    got = all_edges_lca(rt, h, low, high, eu, ev, d)
+    lca_rounds = rt.rounds - cluster_rounds
+    assert np.array_equal(got, tree.lca(eu, ev))
+    return cluster_rounds, lca_rounds, rt.tracker.peak_global_words
+
+
+def _sweep():
+    rows = []
+    for d in DIAMS:
+        c, l, words = _run(d)
+        rows.append((d, c, l, c + l, words))
+    return rows
+
+
+def test_e8_table(table_sink, benchmark):
+    rows = _sweep()
+    benchmark.pedantic(lambda: _run(DIAMS[2]), rounds=3, iterations=1)
+    total = [r[3] for r in rows]
+    fit = fit_log(DIAMS, total)
+    table_sink(
+        f"E8: all-edges LCA rounds vs D_T (n={N}, {N_QUERIES} query "
+        f"edges; fit {fit.slope:.1f}*log2(D){fit.intercept:+.1f}, "
+        f"R2={fit.r2:.3f})",
+        render_table(
+            ["D_T", "clustering rounds", "LCA rounds", "total",
+             "peak words"],
+            rows,
+        ),
+    )
+    assert fit.r2 > 0.9
+    words = [r[4] for r in rows]
+    assert max(words) <= 4 * min(words)  # linear memory across the sweep

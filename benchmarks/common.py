@@ -1,0 +1,40 @@
+"""Shared instance builders and sizing for the benchmark suite."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.graph.generators import (
+    attach_nontree_edges,
+    backbone_tree,
+    known_mst_instance,
+    one_vs_two_cycles_instance,
+)
+from repro.graph.graph import WeightedGraph
+
+#: Default sweep sizes — large enough for clean shapes, small enough for
+#: the whole suite to run in a few minutes.
+N_DEFAULT = 4096
+EXTRA_M_FACTOR = 2
+DIAMETERS = (8, 32, 128, 512, 2048)
+N_SWEEP = (1024, 2048, 4096, 8192)
+
+
+@lru_cache(maxsize=64)
+def diameter_instance(n: int, d: int, seed: int = 0) -> WeightedGraph:
+    tree = backbone_tree(n, d, rng=seed + d)
+    return attach_nontree_edges(tree, EXTRA_M_FACTOR * n, rng=seed + d + 1,
+                                mode="mst")
+
+
+@lru_cache(maxsize=16)
+def shape_instance(shape: str, n: int, seed: int = 0) -> WeightedGraph:
+    g, _ = known_mst_instance(shape, n, extra_m=EXTRA_M_FACTOR * n, rng=seed)
+    return g
+
+
+@lru_cache(maxsize=16)
+def lower_bound_instance(n: int, two: bool) -> WeightedGraph:
+    g, _ = one_vs_two_cycles_instance(n, two_cycles=two, rng=n)
+    return g

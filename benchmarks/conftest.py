@@ -1,0 +1,42 @@
+"""Benchmark harness plumbing.
+
+Each bench module both *times* a representative pipeline run (via
+pytest-benchmark) and *prints the experiment's table* — the rows the
+paper's claims predict (rounds vs D_T, memory vs D_T, ...). Tables are
+collected here and emitted in the terminal summary so that
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces every experiment in one go. EXPERIMENTS.md records the
+expected shapes next to a captured run.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+_TABLES: "OrderedDict[str, str]" = OrderedDict()
+
+
+def register_table(name: str, rendered: str) -> None:
+    """Called by bench modules to publish a rendered experiment table."""
+    _TABLES[name] = rendered
+
+
+@pytest.fixture(scope="session")
+def table_sink():
+    return register_table
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "reproduced experiment tables")
+    for name, rendered in _TABLES.items():
+        tr.write_line("")
+        tr.write_sep("-", name)
+        for line in rendered.rstrip("\n").split("\n"):
+            tr.write_line(line)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Capacity planning on a wide-area backbone via MST sensitivity.
+
+A WAN backbone: a country-spanning ring of core sites with regional
+spurs, plus leased-line shortcut offers. The operator runs traffic on
+the minimum-cost spanning tree and wants to know:
+
+* which *active* (tree) links are close to being priced out — i.e. how
+  much their lease cost can rise before the optimal tree changes
+  (Definition 1.2, tree-edge sensitivity = mc(e) - w(e)); and
+* which *offered* (non-tree) links are close to being worth buying —
+  how much their price must drop to enter the optimal tree
+  (non-tree sensitivity = w(e) - pathmax(e)).
+
+This exercises the *high-diameter* regime (a ring has D_T = Θ(n)), the
+other end of the spectrum from the datacenter example.
+
+Run:  python examples/backbone_sensitivity_planning.py
+"""
+
+import numpy as np
+
+from repro import mst_sensitivity
+from repro.analysis import render_table
+from repro.baselines import kruskal_mst, sequential_sensitivity
+from repro.graph.graph import WeightedGraph
+
+
+def backbone(n_core: int, spurs_per_core: int, n_offers: int,
+             rng) -> WeightedGraph:
+    """Ring of core sites + regional spurs + random shortcut offers."""
+    edges = []
+    # core ring: cost ~ distance, one deliberately expensive ocean link
+    for i in range(n_core):
+        cost = 10.0 + rng.uniform(0, 2) + (25.0 if i == n_core - 1 else 0)
+        edges.append((i, (i + 1) % n_core, cost))
+    # regional spurs
+    n = n_core
+    for c in range(n_core):
+        for _ in range(spurs_per_core):
+            edges.append((c, n, 3.0 + rng.uniform(0, 1)))
+            n += 1
+    # leased-line offers between random sites
+    for _ in range(n_offers):
+        a, b = rng.integers(0, n, 2)
+        if a != b:
+            edges.append((int(a), int(b), 12.0 + rng.uniform(0, 10)))
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges])
+    g = WeightedGraph(n=n, u=u, v=v, w=w)
+    idx, _ = kruskal_mst(g)
+    mask = np.zeros(g.m, dtype=bool)
+    mask[idx] = True
+    return WeightedGraph(n=n, u=u, v=v, w=w, tree_mask=mask)
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    g = backbone(n_core=60, spurs_per_core=6, n_offers=250, rng=rng)
+    print(f"backbone: {g.n} sites, {g.m} links "
+          f"({g.m_tree} active, {g.m - g.m_tree} offers)")
+
+    sens = mst_sensitivity(g)
+    # cross-check against the sequential oracle, as an operator would
+    oracle = sequential_sensitivity(g)
+    assert np.allclose(sens.sensitivity, oracle.sensitivity)
+    print(f"analysis rounds: {sens.rounds} "
+          f"(D_T estimate {sens.diameter_estimate})\n")
+
+    tree_sens = sens.sensitivity[sens.tree_index]
+    at_risk = np.argsort(tree_sens)[:6]
+    rows = []
+    for k in at_risk:
+        e = int(sens.tree_index[k])
+        rows.append((f"{int(g.u[e])}–{int(g.v[e])}",
+                     round(float(g.w[e]), 2),
+                     round(float(tree_sens[k]), 2)))
+    print("active links nearest to being priced out:")
+    print(render_table(["link", "cost", "price slack"], rows))
+
+    off_sens = sens.sensitivity[sens.nontree_index]
+    best = np.argsort(off_sens)[:6]
+    rows = []
+    for k in best:
+        e = int(sens.nontree_index[k])
+        rows.append((f"{int(g.u[e])}–{int(g.v[e])}",
+                     round(float(g.w[e]), 2),
+                     round(float(off_sens[k]), 2)))
+    print("offers closest to being worth buying (needed discount):")
+    print(render_table(["offer", "price", "required discount"], rows))
+
+
+if __name__ == "__main__":
+    main()

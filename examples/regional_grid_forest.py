@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Spanning-forest analysis of disconnected regional power grids.
+
+Remark 2.4: the algorithms extend to disconnected graphs and spanning
+forests. Here three electrically isolated regional grids (no
+interconnects) each run a minimum-cost distribution tree; one audit over
+the whole dataset verifies all regions at once and ranks, per region,
+the line whose cost increase would first trigger a re-plan.
+
+Run:  python examples/regional_grid_forest.py
+"""
+
+import numpy as np
+
+from repro import msf_sensitivity, verify_msf
+from repro.analysis import render_table
+from repro.baselines import kruskal_mst
+from repro.graph.graph import WeightedGraph
+
+
+def regional_grid(side: int, rng, offset: int):
+    """A side x side grid of substations with redundant ties."""
+    n = side * side
+    edges = []
+    for r in range(side):
+        for c in range(side):
+            v = r * side + c
+            if c + 1 < side:
+                edges.append((v, v + 1, 1.0 + rng.uniform(0, 1)))
+            if r + 1 < side:
+                edges.append((v, v + side, 1.0 + rng.uniform(0, 1)))
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges])
+    g = WeightedGraph(n=n, u=u, v=v, w=w)
+    idx, _ = kruskal_mst(g)
+    mask = np.zeros(g.m, dtype=bool)
+    mask[idx] = True
+    # endpoints shifted into the global id space; n is the region size
+    return (u + offset, v + offset, w, mask), n
+
+
+def main() -> None:
+    rng = np.random.default_rng(33)
+    parts, names = [], []
+    offset = 0
+    for name, side in (("north", 14), ("central", 10), ("coast", 8)):
+        part, n = regional_grid(side, rng, offset)
+        parts.append(part)
+        names.append((name, offset, offset + n))
+        offset += n
+    total = WeightedGraph(
+        n=offset,
+        u=np.concatenate([p[0] for p in parts]),
+        v=np.concatenate([p[1] for p in parts]),
+        w=np.concatenate([p[2] for p in parts]),
+        tree_mask=np.concatenate([p[3] for p in parts]),
+    )
+    print(f"dataset: {offset} substations in {len(parts)} isolated regions, "
+          f"{total.m} lines")
+
+    audit = verify_msf(total)
+    print(f"forest verified minimal: {audit.is_mst} "
+          f"(rounds {audit.rounds})\n")
+
+    sens = msf_sensitivity(total)
+    rows = []
+    for name, lo, hi in names:
+        in_region = (total.u[sens.tree_index] >= lo) & \
+                    (total.u[sens.tree_index] < hi)
+        region_idx = sens.tree_index[in_region]
+        region_sens = sens.sensitivity[region_idx]
+        k = int(np.argmin(region_sens))
+        e = int(region_idx[k])
+        rows.append((
+            name, hi - lo,
+            f"{int(total.u[e])}–{int(total.v[e])}",
+            round(float(total.w[e]), 3),
+            round(float(region_sens[k]), 4),
+        ))
+    print("per-region: first line to re-plan if costs drift")
+    print(render_table(
+        ["region", "substations", "line", "cost", "cost slack"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — MST verification and sensitivity in the MPC model.
+
+Reproduction of *"Log Diameter Rounds MST Verification and Sensitivity
+in MPC"* (Coy, Czumaj, Mishra, Mukherjee; SPAA 2024). See README.md for
+a tour and DESIGN.md for the system inventory.
+
+High-level API::
+
+    from repro import verify_mst, mst_sensitivity, known_mst_instance
+
+    graph, tree = known_mst_instance("binary", n=512, extra_m=1024, rng=1)
+    result = verify_mst(graph)
+    sens = mst_sensitivity(graph)
+"""
+
+from .graph.generators import (
+    known_mst_instance,
+    one_vs_two_cycles_instance,
+    perturb_break_mst,
+)
+from .graph.graph import WeightedGraph
+from .graph.tree import RootedTree
+from .mpc import LocalRuntime, MPCConfig, Table, make_runtime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WeightedGraph",
+    "RootedTree",
+    "MPCConfig",
+    "LocalRuntime",
+    "Table",
+    "make_runtime",
+    "known_mst_instance",
+    "one_vs_two_cycles_instance",
+    "perturb_break_mst",
+    "verify_mst",
+    "mst_sensitivity",
+    "verify_msf",
+    "msf_sensitivity",
+    "__version__",
+]
+
+
+def verify_mst(graph, engine: str = "local", config=None, **kw):
+    """Run the Theorem 3.1 MST verification pipeline (lazy import)."""
+    from .core.verification import verify_mst as _impl
+
+    return _impl(graph, engine=engine, config=config, **kw)
+
+
+def mst_sensitivity(graph, engine: str = "local", config=None, **kw):
+    """Run the Theorem 4.1 MST sensitivity pipeline (lazy import)."""
+    from .core.sensitivity import mst_sensitivity as _impl
+
+    return _impl(graph, engine=engine, config=config, **kw)
+
+
+def verify_msf(graph, engine: str = "local", config=None, **kw):
+    """Minimum spanning *forest* verification (Remark 2.4; lazy import)."""
+    from .core.forest import verify_msf as _impl
+
+    return _impl(graph, engine=engine, config=config, **kw)
+
+
+def msf_sensitivity(graph, engine: str = "local", config=None, **kw):
+    """Minimum spanning *forest* sensitivity (Remark 2.4; lazy import)."""
+    from .core.forest import msf_sensitivity as _impl
+
+    return _impl(graph, engine=engine, config=config, **kw)

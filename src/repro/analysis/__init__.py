@@ -1,0 +1,22 @@
+"""Experiment harness: tables, sweeps, complexity-shape diagnostics."""
+
+from .complexity import LogFit, fit_log, growth_ratio
+from .experiments import (
+    ExperimentRow,
+    diameter_sweep_instances,
+    sensitivity_rounds_row,
+    verification_rounds_row,
+)
+from .tables import render_table, to_csv
+
+__all__ = [
+    "LogFit",
+    "fit_log",
+    "growth_ratio",
+    "ExperimentRow",
+    "diameter_sweep_instances",
+    "sensitivity_rounds_row",
+    "verification_rounds_row",
+    "render_table",
+    "to_csv",
+]

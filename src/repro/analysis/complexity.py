@@ -1,0 +1,54 @@
+"""Complexity-shape diagnostics: fit measured rounds against log D_T.
+
+The reproduction's headline claim is *shape*, not constants: measured
+rounds should be ``a * log2(D_T) + b`` for the paper's algorithms and
+``~ c * log2(n)`` (flat in ``D_T``) for the baselines. These helpers fit
+the models and report goodness so benchmarks/tests can assert them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LogFit", "fit_log", "growth_ratio"]
+
+
+@dataclass
+class LogFit:
+    slope: float          # rounds per doubling of D
+    intercept: float
+    r2: float
+
+    def predict(self, d: np.ndarray) -> np.ndarray:
+        return self.slope * np.log2(np.maximum(d, 1)) + self.intercept
+
+
+def fit_log(d_values: Sequence[float], rounds: Sequence[float]) -> LogFit:
+    """Least-squares fit of ``rounds = a*log2(d) + b``."""
+    d = np.asarray(d_values, dtype=np.float64)
+    r = np.asarray(rounds, dtype=np.float64)
+    x = np.log2(np.maximum(d, 1.0))
+    A = np.vstack([x, np.ones_like(x)]).T
+    coef, *_ = np.linalg.lstsq(A, r, rcond=None)
+    pred = A @ coef
+    ss_res = float(((r - pred) ** 2).sum())
+    ss_tot = float(((r - r.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LogFit(slope=float(coef[0]), intercept=float(coef[1]), r2=r2)
+
+
+def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """``(y_last - y_first) / (log2(x_last) - log2(x_first))``.
+
+    A quick slope estimate used by tests to assert logarithmic (not
+    polynomial) growth without a full fit.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    dx = np.log2(xs[-1]) - np.log2(xs[0])
+    if dx <= 0:
+        return 0.0
+    return float((ys[-1] - ys[0]) / dx)

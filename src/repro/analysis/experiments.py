@@ -1,0 +1,82 @@
+"""Experiment sweep helpers shared by the benchmark harness and examples.
+
+Each function runs one of the DESIGN.md experiments over a parameter
+sweep and returns printable rows; the pytest-benchmark targets wrap
+these so ``pytest benchmarks/ --benchmark-only`` both times the
+pipelines and prints the reproduced tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.sensitivity import mst_sensitivity
+from ..core.verification import verify_mst
+from ..graph.generators import attach_nontree_edges, backbone_tree
+from ..graph.graph import WeightedGraph
+from ..mpc import LocalRuntime, MPCConfig
+
+__all__ = [
+    "diameter_sweep_instances",
+    "verification_rounds_row",
+    "sensitivity_rounds_row",
+    "ExperimentRow",
+]
+
+
+@dataclass
+class ExperimentRow:
+    params: Dict
+    values: Dict
+
+    def flat(self) -> Dict:
+        out = dict(self.params)
+        out.update(self.values)
+        return out
+
+
+def diameter_sweep_instances(
+    n: int, diameters: Sequence[int], extra_m: int, seed: int = 0
+) -> List[Tuple[int, WeightedGraph]]:
+    """Backbone-tree MST instances with exact diameters, fixed n and m."""
+    out = []
+    for i, d in enumerate(diameters):
+        tree = backbone_tree(n, d, rng=seed + i)
+        g = attach_nontree_edges(tree, extra_m, rng=seed + 100 + i, mode="mst")
+        out.append((d, g))
+    return out
+
+
+def verification_rounds_row(
+    graph: WeightedGraph,
+    oracle_labels: bool = True,
+    config: MPCConfig | None = None,
+) -> Dict:
+    r = verify_mst(graph, oracle_labels=oracle_labels, config=config)
+    assert r.is_mst, "sweep instances are MSTs by construction"
+    return {
+        "rounds_total": r.rounds,
+        "rounds_core": r.core_rounds,
+        "rounds_substrate": r.substrate_rounds,
+        "peak_words": r.report.peak_global_words,
+        "d_hat": r.diameter_estimate,
+        "clusters_final": r.cluster_counts[-1] if r.cluster_counts else 0,
+    }
+
+
+def sensitivity_rounds_row(
+    graph: WeightedGraph,
+    oracle_labels: bool = True,
+    config: MPCConfig | None = None,
+) -> Dict:
+    r = mst_sensitivity(graph, oracle_labels=oracle_labels, config=config)
+    return {
+        "rounds_total": r.rounds,
+        "rounds_core": r.core_rounds,
+        "peak_words": r.report.peak_global_words,
+        "notes_peak": r.notes_peak,
+        "d_hat": r.diameter_estimate,
+    }

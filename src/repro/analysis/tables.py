@@ -1,0 +1,44 @@
+"""ASCII table / CSV rendering for experiment reports."""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "to_csv"]
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        if x != x:  # nan
+            return "-"
+        if x == float("inf"):
+            return "inf"
+        if abs(x) >= 1000 or (x and abs(x) < 0.01):
+            return f"{x:.3e}"
+        return f"{x:.3f}".rstrip("0").rstrip(".")
+    return str(x)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A monospace table with a header rule, ready for printing."""
+    srows: List[List[str]] = [[_fmt(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in srows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    out = io.StringIO()
+    line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    out.write(line + "\n")
+    out.write("-" * len(line) + "\n")
+    for r in srows:
+        out.write("  ".join(c.rjust(w) for c, w in zip(r, widths)) + "\n")
+    return out.getvalue()
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    out = io.StringIO()
+    out.write(",".join(headers) + "\n")
+    for r in rows:
+        out.write(",".join(_fmt(c) for c in r) + "\n")
+    return out.getvalue()

@@ -1,0 +1,123 @@
+"""Borůvka MST in MPC — the ``Θ(log n)``-round comparison baseline.
+
+The paper (§1.3) notes that with optimal global memory the best known
+MST algorithm is an ``O(log n)``-round PRAM simulation (e.g. [CKT96]).
+This module provides that comparison point: classic Borůvka phases
+(every component picks its lightest incident edge, components hook and
+contract by pointer jumping). Rounds grow with ``log n`` and are
+*independent of* ``D_T`` — exactly the gap Theorems 3.1/4.1 close for
+the verification/sensitivity variants.
+
+Also provides :func:`verify_by_recompute_mpc`: verification by
+recomputing an MST and comparing weights — the "obvious" distributed
+verifier our ``O(log D_T)`` pipeline is benchmarked against (E1/E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DisconnectedGraphError
+from ..graph.graph import WeightedGraph
+from ..mpc.runtime import Runtime, float_sort_key
+from ..mpc.table import Table
+
+__all__ = ["BoruvkaResult", "mpc_boruvka", "verify_by_recompute_mpc"]
+
+
+@dataclass
+class BoruvkaResult:
+    mst_edge_index: np.ndarray
+    total_weight: float
+    phases: int
+    rounds: int
+
+
+def mpc_boruvka(rt: Runtime, graph: WeightedGraph) -> BoruvkaResult:
+    """Minimum spanning tree by Borůvka phases on the runtime ``rt``."""
+    n, m = graph.n, graph.m
+    labels = np.arange(n, dtype=np.int64)
+    eid = np.arange(m, dtype=np.int64)
+    wkey = float_sort_key(graph.w)
+    chosen_mask = np.zeros(m, dtype=bool)
+    phases = 0
+    start_rounds = rt.rounds
+
+    while True:
+        phases += 1
+        lab_tab = Table(v=np.arange(n, dtype=np.int64), l=labels)
+        gu = rt.lookup(Table(x=graph.u), ("x",), lab_tab, ("v",), {"l": "l"})
+        gv = rt.lookup(Table(x=graph.v), ("x",), lab_tab, ("v",), {"l": "l"})
+        lu, lv = gu.col("l"), gv.col("l")
+        ext = lu != lv
+        if not bool(rt.scalar(Table(x=ext.astype(np.int64)), "x", "max")):
+            break
+        # each component's lightest incident external edge (ties: min eid)
+        cand = Table(
+            c=np.concatenate([lu[ext], lv[ext]]),
+            wk=np.concatenate([wkey[ext], wkey[ext]]),
+            e=np.concatenate([eid[ext], eid[ext]]),
+        )
+        best_w = rt.reduce_by_key(cand, ("c",), {"wk": ("wk", "min")})
+        cand2 = rt.lookup(cand, ("c",), best_w, ("c",), {"bw": "wk"})
+        tied = rt.filter(cand2, cand2.col("wk") == cand2.col("bw"))
+        best = rt.reduce_by_key(tied, ("c",), {"e": ("e", "min")})
+        # record the chosen edges
+        chosen_mask[best.col("e")] = True
+        # hooking: component -> other endpoint's component of its edge
+        edge_tab = Table(e=eid, lu=lu, lv=lv)
+        got = rt.lookup(best, ("e",), edge_tab, ("e",), {"lu": "lu", "lv": "lv"})
+        c = best.col("c")
+        target = np.where(got.col("lu") == c, got.col("lv"), got.col("lu"))
+        # break mutual hooks toward the smaller id, then pointer-jump
+        hook = rt.lookup(
+            Table(c=c, t=target), ("t",), Table(c=c, t=target), ("c",),
+            {"tt": "t"}, default={"tt": -1},
+        )
+        mutual = (hook.col("tt") == c) & (c < target)
+        parent = np.where(mutual, c, target)
+        comp_par = Table(c=c, p=parent)
+        got_all = rt.lookup(
+            Table(c=labels), ("c",), comp_par, ("c",), {"p": "p"},
+            default={"p": -1},
+        )
+        new_labels = np.where(got_all.col("p") >= 0, got_all.col("p"), labels)
+        while True:
+            jt = rt.lookup(
+                Table(v=np.arange(n, dtype=np.int64), l=new_labels), ("l",),
+                Table(v=np.arange(n, dtype=np.int64), l2=new_labels), ("v",),
+                {"l2": "l2"},
+            )
+            nxt = jt.col("l2")
+            if not bool(rt.scalar(
+                Table(x=(nxt != new_labels).astype(np.int64)), "x", "max"
+            )):
+                break
+            new_labels = nxt
+        labels = new_labels
+
+    idx = np.flatnonzero(chosen_mask)
+    if len(idx) != n - 1:
+        raise DisconnectedGraphError(
+            f"Borůvka selected {len(idx)} edges; graph disconnected?"
+        )
+    total = float(graph.w[idx].sum())
+    return BoruvkaResult(
+        mst_edge_index=idx, total_weight=total, phases=phases,
+        rounds=rt.rounds - start_rounds,
+    )
+
+
+def verify_by_recompute_mpc(rt: Runtime, graph: WeightedGraph) -> bool:
+    """Verification baseline: recompute the MST, compare total weights."""
+    from ..trees.connectivity import mpc_is_spanning_tree
+
+    tu, tv, tw = graph.tree_edges()
+    with rt.phase("baseline-recompute"):
+        if not mpc_is_spanning_tree(rt, graph.n, tu, tv):
+            return False
+        res = mpc_boruvka(rt, graph)
+        t_weight = float(rt.scalar(Table(w=tw), "w", "sum"))
+    return bool(np.isclose(t_weight, res.total_weight))

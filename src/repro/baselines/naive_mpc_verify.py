@@ -1,0 +1,84 @@
+"""The §3-intro strawman verifier: full path collection, no clustering.
+
+Collects, for *every vertex*, its entire path to the root (Lemma 3.7 on
+the uncontracted tree), takes prefix maxima along the paths, and reads
+each half-edge's answer off its descendant's path. Also ``O(log D_T)``
+rounds — but ``Θ(n · D_T)`` global memory instead of ``O(m + n)``,
+which is exactly the problem the paper's hierarchical clustering exists
+to solve. Benchmark E3 measures this blow-up against the real pipeline.
+
+The LCA split is done with the sequential oracle (this baseline is
+about the path-collection memory, not about LCA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.graph import WeightedGraph
+from ..graph.tree import RootedTree
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+from ..trees.doubling import collect_root_paths
+
+__all__ = ["NaiveVerifyResult", "naive_verify_mst"]
+
+
+@dataclass
+class NaiveVerifyResult:
+    is_mst: bool
+    pathmax: np.ndarray
+    rounds: int
+    peak_words: int
+
+
+def naive_verify_mst(
+    rt: Runtime, graph: WeightedGraph, root: int = 0
+) -> NaiveVerifyResult:
+    tu, tv, tw = graph.tree_edges()
+    tree = RootedTree.from_edges(graph.n, tu, tv, tw, root=root)
+    parent, wpar = tree.parent, tree.weight
+    depth = tree.depths()
+    nu, nv, nw = graph.nontree_edges()
+    lca = tree.lca(nu, nv) if len(nu) else np.empty(0, dtype=np.int64)
+
+    with rt.phase("naive-verify"):
+        # Θ(sum of depths) = Θ(n * D_T) rows — the §3 memory blow-up
+        paths = collect_root_paths(rt, parent, root)
+        rt.retain("naive_full_paths", paths)
+        paths = paths.with_cols(we=wpar[paths.col("anc")])
+        paths = rt.sort(paths, ("v", "d"))
+        cum = rt.scan(paths, "we", "max", by=("v",))
+        paths = paths.with_cols(cum=cum)
+
+        eid = np.arange(len(nu), dtype=np.int64)
+        halves = Table(
+            eid=np.concatenate([eid, eid]),
+            lo=np.concatenate([nu, nv]),
+            hi=np.concatenate([lca, lca]),
+        )
+        halves = rt.filter(halves, halves.col("lo") != halves.col("hi"))
+        diff = depth[halves.col("lo")] - depth[halves.col("hi")]
+        got = rt.lookup(
+            Table(v=halves.col("lo"), d=diff - 1), ("v", "d"),
+            paths, ("v", "d"), {"m": "cum"},
+        )
+        per_half = Table(eid=halves.col("eid"), pm=got.col("m"))
+        if len(per_half):
+            agg = rt.reduce_by_key(per_half, ("eid",), {"pm": ("pm", "max")})
+            full = rt.lookup(
+                Table(eid=eid), ("eid",), agg, ("eid",), {"pm": "pm"},
+                default={"pm": -np.inf},
+            ).col("pm")
+        else:
+            full = np.full(len(nu), -np.inf)
+        bad = int(rt.scalar(
+            Table(b=(nw < full).astype(np.int64)), "b", "sum"
+        ))
+        rt.release("naive_full_paths")
+    return NaiveVerifyResult(
+        is_mst=(bad == 0), pathmax=full, rounds=rt.rounds,
+        peak_words=rt.tracker.peak_global_words,
+    )

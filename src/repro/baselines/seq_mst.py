@@ -1,0 +1,39 @@
+"""Sequential MST construction (Kruskal) — baseline and test oracle."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import DisconnectedGraphError
+from ..graph.graph import WeightedGraph
+from ..graph.validation import UnionFind
+
+__all__ = ["kruskal_mst", "mst_weight"]
+
+
+def kruskal_mst(graph: WeightedGraph) -> Tuple[np.ndarray, float]:
+    """Minimum spanning tree edge indices + total weight (Kruskal).
+
+    Ties are broken by input order (stable sort), so the result is
+    deterministic. Raises on disconnected inputs.
+    """
+    order = np.argsort(graph.w, kind="stable")
+    uf = UnionFind(graph.n)
+    chosen = []
+    total = 0.0
+    for i in order:
+        if uf.union(int(graph.u[i]), int(graph.v[i])):
+            chosen.append(int(i))
+            total += float(graph.w[i])
+            if len(chosen) == graph.n - 1:
+                break
+    if len(chosen) != graph.n - 1:
+        raise DisconnectedGraphError("graph is not connected")
+    return np.array(sorted(chosen), dtype=np.int64), total
+
+
+def mst_weight(graph: WeightedGraph) -> float:
+    """Total weight of an MST (all MSTs share it)."""
+    return kruskal_mst(graph)[1]

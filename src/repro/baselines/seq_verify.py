@@ -1,0 +1,47 @@
+"""Sequential MST verification oracles.
+
+Two independent methods (tests cross-check them against each other and
+against the MPC pipeline):
+
+* *recompute*: ``T`` is an MST iff it is a spanning tree and its weight
+  equals the MST weight (all MSTs share one weight);
+* *path-max* (cycle rule): ``T`` is an MST iff no non-tree edge weighs
+  strictly less than the maximum weight on its tree path (computed with
+  the binary-lifting oracle of :class:`repro.graph.tree.RootedTree`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import WeightedGraph
+from ..graph.tree import RootedTree
+from ..graph.validation import is_spanning_tree
+from .seq_mst import mst_weight
+
+__all__ = ["verify_by_recompute", "verify_by_pathmax", "nontree_pathmax"]
+
+
+def verify_by_recompute(graph: WeightedGraph) -> bool:
+    tu, tv, tw = graph.tree_edges()
+    if not is_spanning_tree(graph.n, tu, tv):
+        return False
+    return bool(np.isclose(tw.sum(), mst_weight(graph)))
+
+
+def nontree_pathmax(graph: WeightedGraph, root: int = 0) -> np.ndarray:
+    """Tree-path maximum for every non-tree edge (input order)."""
+    tu, tv, tw = graph.tree_edges()
+    tree = RootedTree.from_edges(graph.n, tu, tv, tw, root=root)
+    nu, nv, _ = graph.nontree_edges()
+    return tree.path_max(nu, nv)
+
+
+def verify_by_pathmax(graph: WeightedGraph, root: int = 0) -> bool:
+    tu, tv, _ = graph.tree_edges()
+    if not is_spanning_tree(graph.n, tu, tv):
+        return False
+    _, _, nw = graph.nontree_edges()
+    if len(nw) == 0:
+        return True
+    return bool(np.all(nw >= nontree_pathmax(graph, root)))

@@ -1,0 +1,28 @@
+"""The paper's core algorithms (systems S5–S13 in DESIGN.md)."""
+
+from .adgraph import HalfEdges, split_at_lca
+from .forest import msf_sensitivity, stitch_components, verify_msf
+from .hierarchy import ClusterHierarchy, MergeLevel, build_hierarchy
+from .labeling import LabeledHalfEdges, evaluate_pathmax, run_weight_labeling
+from .lca import all_edges_lca, compact_cluster_tree
+from .results import SensitivityResult, VerificationResult
+from .verification import verify_mst
+
+__all__ = [
+    "HalfEdges",
+    "split_at_lca",
+    "ClusterHierarchy",
+    "MergeLevel",
+    "build_hierarchy",
+    "LabeledHalfEdges",
+    "evaluate_pathmax",
+    "run_weight_labeling",
+    "all_edges_lca",
+    "compact_cluster_tree",
+    "SensitivityResult",
+    "VerificationResult",
+    "verify_mst",
+    "verify_msf",
+    "msf_sensitivity",
+    "stitch_components",
+]

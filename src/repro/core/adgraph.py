@@ -1,0 +1,66 @@
+"""Ancestor–descendant transform (Corollary 2.19 / Observation 2.20).
+
+Every non-tree edge ``{u, v}`` is replaced by the two *half-edges*
+``{u, LCA(u,v)}`` and ``{v, LCA(u,v)}`` of the same weight. After the
+transform every non-tree edge runs between a vertex and one of its
+ancestors, which is what the verification and sensitivity pipelines
+assume. Halves that collapse to a single vertex (endpoint == LCA) are
+dropped; Observation 2.20 guarantees the transform changes neither the
+verification verdict nor tree-edge sensitivities, and that a non-tree
+edge's sensitivity is recovered as the minimum over its two halves
+(equivalently via the max of the halves' path maxima).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+
+__all__ = ["HalfEdges", "split_at_lca"]
+
+
+@dataclass
+class HalfEdges:
+    """Ancestor–descendant half-edges: ``lo`` strictly below ``hi``."""
+
+    eid: np.ndarray   # original non-tree edge index (shared by both halves)
+    lo: np.ndarray    # descendant endpoint
+    hi: np.ndarray    # ancestor endpoint (the LCA of the original edge)
+    w: np.ndarray     # original edge weight
+
+    def __len__(self) -> int:
+        return len(self.eid)
+
+    def as_table(self) -> Table:
+        return Table(eid=self.eid, lo=self.lo, hi=self.hi, w=self.w)
+
+
+def split_at_lca(
+    rt: Runtime,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    ew: np.ndarray,
+    lca: np.ndarray,
+) -> HalfEdges:
+    """Corollary 2.19: split each non-tree edge at its LCA."""
+    eu = np.asarray(eu, dtype=np.int64)
+    ev = np.asarray(ev, dtype=np.int64)
+    ew = np.asarray(ew, dtype=np.float64)
+    lca = np.asarray(lca, dtype=np.int64)
+    m = len(eu)
+    eid = np.arange(m, dtype=np.int64)
+    halves = Table(
+        eid=np.concatenate([eid, eid]),
+        lo=np.concatenate([eu, ev]),
+        hi=np.concatenate([lca, lca]),
+        w=np.concatenate([ew, ew]),
+    )
+    live = rt.filter(halves, halves.col("lo") != halves.col("hi"))
+    return HalfEdges(
+        eid=live.col("eid"), lo=live.col("lo"), hi=live.col("hi"),
+        w=live.col("w"),
+    )

@@ -1,0 +1,126 @@
+"""Sensitivity on the contracted cluster tree (§4.2, Algorithm 6).
+
+After Algorithm 5 there are ``n / poly(D_T)`` clusters, so ``D_T`` words
+of memory are available per cluster. For every live half-edge we:
+
+1. split off its *topmost arc* — the inter-cluster tree edge
+   ``(r_top, hi)`` right below the ancestor endpoint — and bound that
+   edge's ``mc`` directly (lines 2–6);
+2. record the remainder as an ``E''`` entry ``(c(lo), dep_top, w)``;
+   such an entry covers exactly the inter-cluster edges of the clusters
+   at depths ``dep_top+1 .. dep(c(lo))`` on ``lo``'s root path
+   (Definition 4.8's ``A_c`` arrays, stored in compressed form);
+3. aggregate ``minA(c) = min over subtree(c) of A_x[dep(c)]`` by
+   emitting each ``E''`` entry to the ancestors it covers along the
+   collected root paths (Lemma 3.7 memory budget) and reducing
+   (lines 7–12);
+4. bound each inter-cluster edge by ``minA`` (line 14) and leave a
+   root-to-leaf note for the parent cluster's entry segment
+   (line 13 / Lemma 4.9 (ii)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+from ..trees.doubling import collect_root_paths, mpc_depths
+from .contraction_sens import SensContractionState
+from .hierarchy import ClusterHierarchy
+from .notes import NoteSet
+
+__all__ = ["run_cluster_sensitivity"]
+
+POS = np.inf
+
+
+def run_cluster_sensitivity(
+    rt: Runtime,
+    hierarchy: ClusterHierarchy,
+    state: SensContractionState,
+) -> List[Table]:
+    """Algorithm 6. Appends notes to ``state.notes``; returns mc updates."""
+    clusters = state.clusters
+    k = len(clusters)
+    mc_updates: List[Table] = []
+
+    # compact ids + cluster tree
+    cl = rt.sort(clusters, ("leader",))
+    cid = np.arange(k, dtype=np.int64)
+    cl = cl.with_cols(cid=cid)
+    got = rt.lookup(cl, ("pcl",), cl, ("leader",), {"pcid": "cid"})
+    cl = cl.with_cols(pcid=got.col("pcid"))
+    root_cid = int(cl.col("cid")[cl.col("leader") == hierarchy.root][0])
+    cparent = cl.col("pcid").copy()
+    leaders_by_cid = cl.col("leader")
+
+    cdepth = mpc_depths(rt, cparent, root_cid)
+    paths = collect_root_paths(rt, cparent, root_cid)
+    rt.retain("sens_cluster_paths", paths)
+
+    edges = state.edges
+    ne = len(edges)
+    if ne:
+        # clusters of the endpoints (lo is its cluster's leader)
+        lead2cid = Table(leader=cl.col("leader"), cid=cl.col("cid"))
+        c_lo = rt.lookup(
+            Table(l=edges.col("lo")), ("l",), lead2cid, ("leader",),
+            {"c": "cid"},
+        ).col("c")
+        c_hi = rt.lookup(
+            Table(l=state.leader[edges.col("hi")]), ("l",), lead2cid,
+            ("leader",), {"c": "cid"},
+        ).col("c")
+        a = cdepth[c_lo]
+        b = cdepth[c_hi]
+        # topmost cluster on the path: distance a-b-1 above c(lo)
+        top = rt.lookup(
+            Table(c=c_lo, j=a - b - 1), ("c", "j"), paths, ("v", "d"),
+            {"anc": "anc"},
+        ).col("anc")
+        r_top = leaders_by_cid[top]
+        mc_updates.append(Table(key=r_top, w=edges.col("w")))
+
+        # E'' entries and the minA aggregation (Definition 4.8)
+        e2 = Table(x=c_lo, dtop=b + 1, w=edges.col("w"))
+        grown = rt.expand_join(
+            e2, ("x",), paths, ("v",), {"anc": "anc", "d": "d"},
+            carry=("dtop", "w"),
+        )
+        covered = rt.filter(grown, cdepth[grown.col("anc")] > grown.col("dtop"))
+        if len(covered):
+            mins = rt.reduce_by_key(covered, ("anc",), {"mn": ("w", "min")})
+        else:
+            mins = Table(anc=np.empty(0, np.int64), mn=np.empty(0, np.float64))
+    else:
+        mins = Table(anc=np.empty(0, np.int64), mn=np.empty(0, np.float64))
+
+    # minA per cluster (inf when uncovered)
+    got_min = rt.lookup(
+        Table(c=cl.col("cid")), ("c",), mins, ("anc",), {"mn": "mn"},
+        default={"mn": POS},
+    )
+    minA = got_min.col("mn")
+    finite = np.isfinite(minA) & (cl.col("cid") != root_cid)
+    if finite.any():
+        # line 14: bound the inter-cluster edge below each covered cluster
+        mc_updates.append(
+            Table(key=cl.col("leader")[finite], w=minA[finite])
+        )
+        # line 13: note for the parent cluster's entry segment
+        parent_leader = cl.col("pcl")[finite]
+        parent_formed = rt.lookup(
+            Table(l=parent_leader), ("l",), cl, ("leader",), {"f": "formed"},
+        ).col("f")
+        state.notes.add(rt, Table(
+            r=parent_leader,
+            bottom=cl.col("pv")[finite],
+            lvl=parent_formed,
+            w=minA[finite],
+        ))
+    rt.release("sens_cluster_paths")
+    return mc_updates

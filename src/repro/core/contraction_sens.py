@@ -1,0 +1,230 @@
+"""The sensitivity contraction process (§4.1, Definition 4.5, Algorithm 5).
+
+Replays the cluster hierarchy while maintaining the invariant that no
+live (truncated) non-tree half-edge covers a tree edge inside either
+endpoint's cluster. Consequences of the invariant that the code relies
+on (proofs in §4.1 / Lemma 4.9):
+
+* the lower endpoint ``lo`` of a live half-edge is always the *leader*
+  of its cluster;
+* the upper endpoint ``hi`` is always the parent of the root of the
+  next cluster down on the path (a cluster "leaf").
+
+Per level, for each live half-edge (Definition 4.5):
+
+* case 1 — the edge *is* a contracted tree edge: record its weight as
+  an ``mc`` bound for that edge and drop it;
+* case 4 — ``lo``'s cluster is a junior and the edge continues above:
+  bound the contracted edge, leave a root-to-leaf note for the senior's
+  traversed segment, and truncate ``lo`` up to the new leader;
+* case 5 — ``hi``'s cluster absorbs the junior the path climbs out of:
+  bound the contracted edge, leave a note for the junior's traversed
+  segment, and truncate ``hi`` down to the junior's entry leaf;
+* cases 2/3 — the invariant already holds; nothing to do.
+
+O(1) primitive rounds per level (Lemma 4.7); the notes stay ``O(n)``
+(Lemma 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..mpc.runtime import Runtime, pack_pair
+from ..mpc.table import Table
+from .adgraph import HalfEdges
+from .hierarchy import ClusterHierarchy
+from .notes import NoteSet
+
+__all__ = ["SensContractionState", "run_sensitivity_contraction"]
+
+NEG = -np.inf
+
+
+@dataclass
+class SensContractionState:
+    """Output of Algorithm 5."""
+
+    edges: Table            # live truncated half-edges: eid, lo, hi, w
+    clusters: Table         # final clusters: leader, pv, pcl, cw, formed
+    notes: NoteSet
+    mc_updates: List[Table] # (key=child vertex of tree edge, w) tables
+    leader: np.ndarray      # final per-vertex cluster leader
+
+
+def _junior_by_parent_vertex(
+    rt: Runtime, lv_tab: Table, query_pv: np.ndarray, query_dfs: np.ndarray
+):
+    """Find this level's contracted edge ``(x, hi)`` with ``x`` an ancestor
+    of the query point: juniors keyed by (parent_vertex, interval).
+
+    Juniors sharing a parent vertex are sibling clusters with disjoint
+    subtree intervals, so predecessor + containment is exact.
+    """
+    data = rt.sort(lv_tab, ("pv", "jlow"))
+    q = Table(p=query_pv, d=query_dfs)
+    dk, qk = pack_pair(data, ("pv", "jlow"), q, ("p", "d"))
+    got = rt.predecessor(
+        q.with_cols(__pk=qk), "__pk", data.with_cols(__pk=dk), "__pk",
+        {
+            "jq": "junior", "jlo": "jlow", "jhi": "jhigh", "jpv": "pv",
+            "jcw": "cw", "jfo": "jformed",
+        },
+        {"jq": -1, "jlo": 0, "jhi": -1, "jpv": -1, "jcw": NEG, "jfo": -1},
+    )
+    hit = (
+        (got.col("jpv") == query_pv)
+        & (got.col("jlo") <= query_dfs)
+        & (query_dfs <= got.col("jhi"))
+        & (got.col("jq") >= 0)
+    )
+    return got, hit
+
+
+def run_sensitivity_contraction(
+    rt: Runtime,
+    hierarchy: ClusterHierarchy,
+    half: HalfEdges,
+    low: np.ndarray,
+    high: np.ndarray,
+) -> SensContractionState:
+    """Algorithm 5: contract, truncating edges and collecting notes."""
+    n = hierarchy.n
+    root = hierarchy.root
+    parent = hierarchy.parent
+    ids = np.arange(n, dtype=np.int64)
+
+    cl_leader = ids.copy()
+    cl_pv = parent.copy()
+    cl_pv[root] = root
+    cl_pcl = parent.copy()
+    cl_pcl[root] = root
+    cl_cw = hierarchy.wpar.copy()
+    cl_cw[root] = NEG
+    cl_formed = np.zeros(n, dtype=np.int64)
+
+    edges = half.as_table()
+    notes = NoteSet()
+    mc_updates: List[Table] = []
+    leader = ids.copy()
+
+    for lv in hierarchy.levels:
+        lv_tab = Table(
+            junior=lv.junior, senior=lv.senior, cw=lv.cross_w,
+            jlow=lv.junior_low, jhigh=lv.junior_high,
+            jformed=lv.junior_formed, sprev=lv.senior_prev_formed,
+            pv=lv.parent_vertex,
+        )
+        jmap = Table(j=lv.junior, s=lv.senior, sprev=lv.senior_prev_formed,
+                     pv=lv.parent_vertex)
+        lo = edges.col("lo")
+        hi = edges.col("hi")
+        w = edges.col("w")
+        ne = len(edges)
+        if ne == 0:
+            # still advance cluster/leader state below
+            pass
+
+        if ne:
+            # ---- LO side (cases 1 and 4) --------------------------------
+            got_lo = rt.lookup(
+                Table(c=lo), ("c",), jmap, ("j",),
+                {"s": "s", "sprev": "sprev", "pv": "pv"},
+                default={"s": -1, "sprev": -1, "pv": -1},
+            )
+            lo_hit = got_lo.col("s") >= 0
+            if lo_hit.any():
+                mc_updates.append(Table(key=lo[lo_hit], w=w[lo_hit]))
+            absorbed = lo_hit & (hi == got_lo.col("pv"))
+            case4 = lo_hit & ~absorbed
+            if case4.any():
+                notes.add(rt, Table(
+                    r=got_lo.col("s")[case4],
+                    bottom=got_lo.col("pv")[case4],
+                    lvl=got_lo.col("sprev")[case4],
+                    w=w[case4],
+                ))
+            new_lo = np.where(case4, got_lo.col("s"), lo)
+
+            # ---- HI side (case 5) ---------------------------------------
+            dfs_lo = low[lo]
+            got_hi, hi_hit = _junior_by_parent_vertex(rt, lv_tab, hi, dfs_lo)
+            case5 = hi_hit & (got_hi.col("jq") != lo)
+            if case5.any():
+                mc_updates.append(
+                    Table(key=got_hi.col("jq")[case5], w=w[case5])
+                )
+                # entry leaf l = parent vertex of the child cluster of jq
+                # through which the path descends to lo
+                clusters_now = Table(
+                    leader=cl_leader, pcl=cl_pcl, pv=cl_pv,
+                    lo_=low[cl_leader], hi_=high[cl_leader],
+                )
+                data = rt.sort(clusters_now, ("pcl", "lo_"))
+                q = Table(p=np.where(case5, got_hi.col("jq"), -1), d=dfs_lo)
+                dk, qk = pack_pair(data, ("pcl", "lo_"), q, ("p", "d"))
+                got_q = rt.predecessor(
+                    q.with_cols(__pk=qk), "__pk", data.with_cols(__pk=dk),
+                    "__pk",
+                    {"ql": "leader", "qlo": "lo_", "qhi": "hi_",
+                     "qpcl": "pcl", "qpv": "pv"},
+                    {"ql": -1, "qlo": 0, "qhi": -1, "qpcl": -1, "qpv": -1},
+                )
+                q_ok = (
+                    case5
+                    & (got_q.col("qpcl") == q.col("p"))
+                    & (got_q.col("qlo") <= dfs_lo)
+                    & (dfs_lo <= got_q.col("qhi"))
+                )
+                entry_leaf = got_q.col("qpv")
+                notes.add(rt, Table(
+                    r=got_hi.col("jq")[q_ok],
+                    bottom=entry_leaf[q_ok],
+                    lvl=got_hi.col("jfo")[q_ok],
+                    w=w[q_ok],
+                ))
+                new_hi = np.where(q_ok, entry_leaf, hi)
+            else:
+                new_hi = hi
+
+            edges = Table(eid=edges.col("eid"), lo=new_lo, hi=new_hi, w=w)
+            edges = rt.filter(edges, ~absorbed)
+
+        # ---- cluster and leader state updates ---------------------------
+        relab = rt.lookup(
+            Table(l=leader), ("l",), jmap, ("j",), {"s": "s"},
+            default={"s": -1},
+        )
+        leader = np.where(relab.col("s") >= 0, relab.col("s"), leader)
+        was_junior = rt.lookup(
+            Table(c=cl_leader), ("c",), jmap, ("j",), {"s": "s"},
+            default={"s": -1},
+        ).col("s") >= 0
+        rewire = rt.lookup(
+            Table(c=cl_pcl), ("c",), jmap, ("j",), {"s": "s"},
+            default={"s": -1},
+        )
+        cl_pcl = np.where(rewire.col("s") >= 0, rewire.col("s"), cl_pcl)
+        keep = ~was_junior
+        cl_leader = cl_leader[keep]
+        cl_pv = cl_pv[keep]
+        cl_pcl = cl_pcl[keep]
+        cl_cw = cl_cw[keep]
+        cl_formed = cl_formed[keep]
+        seniors = np.unique(lv.senior)
+        grew = rt.lookup(
+            Table(c=cl_leader), ("c",),
+            Table(s=seniors, one=np.ones(len(seniors), dtype=np.int64)),
+            ("s",), {"one": "one"}, default={"one": 0},
+        ).col("one") == 1
+        cl_formed = np.where(grew, lv.level, cl_formed)
+
+    clusters = Table(leader=cl_leader, pv=cl_pv, pcl=cl_pcl, cw=cl_cw,
+                     formed=cl_formed)
+    return SensContractionState(
+        edges=edges, clusters=clusters, notes=notes,
+        mc_updates=mc_updates, leader=leader,
+    )

@@ -1,0 +1,239 @@
+"""Hierarchical clustering of the candidate tree (§2.1 of the paper).
+
+A *cluster* is a set of vertices inducing a connected subtree of ``T``;
+its *leader* is the root of that subtree (Definition 2.5). A
+*contraction step* (Definition 2.7, realised by Lemma 2.8) merges a set
+of child clusters ("juniors") into their parents ("seniors") so that no
+cluster is both junior and senior, shrinking the cluster count by a
+constant factor in O(1) rounds.
+
+We implement the randomised head/tail step of [BDE+19] (the paper's
+Lemma 2.8 cites [CC23], which derandomises it — DESIGN.md
+substitution 2): every cluster flips a coin; a non-root cluster
+contracts into its parent iff it flipped Tail and the parent flipped
+Head. Each non-root cluster contracts with probability 1/4 per step, so
+``O(log D_T)`` steps reach the target of ``n / D_T`` clusters
+(Corollary 3.6) w.h.p.
+
+The build records, per level, exactly the merge data the paper's replay
+passes need (weight labels of §3.1, the sensitivity contraction of
+§4.1, and the LCA unwind of §2.2): junior leader and its DFS interval,
+the contracted tree edge and weight, the senior leader, and the
+formation levels of both cluster versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+
+__all__ = ["MergeLevel", "ClusterHierarchy", "build_hierarchy"]
+
+BIG = np.iinfo(np.int64).max
+
+
+@dataclass
+class MergeLevel:
+    """All merges performed in one contraction step (Definition 2.7)."""
+
+    level: int
+    junior: np.ndarray            # junior cluster leader (subtree root vertex)
+    parent_vertex: np.ndarray     # p_T(junior): a vertex of the senior cluster
+    senior: np.ndarray            # senior cluster leader
+    cross_w: np.ndarray           # w({junior, parent_vertex}) — the contracted edge
+    junior_low: np.ndarray        # DFS interval of the junior leader
+    junior_high: np.ndarray
+    junior_formed: np.ndarray     # level at which the junior's version formed
+    senior_prev_formed: np.ndarray  # senior version's formation level before this merge
+
+    def __len__(self) -> int:
+        return len(self.junior)
+
+    def as_table(self) -> Table:
+        return Table(
+            junior=self.junior,
+            pv=self.parent_vertex,
+            senior=self.senior,
+            cw=self.cross_w,
+            jlow=self.junior_low,
+            jhigh=self.junior_high,
+            jformed=self.junior_formed,
+            sprev=self.senior_prev_formed,
+        )
+
+
+@dataclass
+class ClusterHierarchy:
+    """The result of ``tau`` contraction steps on a rooted tree."""
+
+    n: int
+    root: int
+    levels: List[MergeLevel]
+    final_leader: np.ndarray      # per-vertex final cluster leader
+    final_clusters: Table         # leader, pv, pcl, cw, formed (root row: pv=pcl=leader)
+    counts: List[int]             # cluster count after each step (counts[0] == n)
+    target: int
+    hit_target: bool
+    parent: np.ndarray = None     # the rooted tree the hierarchy was built on
+    wpar: np.ndarray = None       # weight of each vertex's parent edge
+
+    @property
+    def tau(self) -> int:
+        return len(self.levels)
+
+    @property
+    def final_count(self) -> int:
+        return self.counts[-1]
+
+    def total_cluster_records(self) -> int:
+        """Observation 2.10 quantity: sum over levels of merge records."""
+        return sum(len(lv) for lv in self.levels)
+
+
+def contraction_target(n: int, diameter_hint: int, exponent: float = 1.0) -> int:
+    """Number of clusters to contract down to: ``n / D^exponent``.
+
+    Exponent 1 suffices for the ``O(|C| * D_T) = O(n)`` memory bound of
+    Lemma 3.7 / Algorithm 6 (the ablation E10 varies it).
+    """
+    d = max(2, int(diameter_hint))
+    return max(1, int(np.ceil(n / d**exponent)))
+
+
+def build_hierarchy(
+    rt: Runtime,
+    parent: np.ndarray,
+    wpar: np.ndarray,
+    root: int,
+    low: np.ndarray,
+    high: np.ndarray,
+    diameter_hint: int,
+    target: int | None = None,
+    coin_bias: float = 0.5,
+    reduction_exponent: float = 1.0,
+    max_steps: int | None = None,
+) -> ClusterHierarchy:
+    """Run contraction steps until at most ``target`` clusters remain.
+
+    ``parent``/``wpar`` define the rooted tree, ``low``/``high`` its DFS
+    interval labels. O(1) primitive rounds per step; O(log D_T) steps
+    w.h.p. (Corollary 3.6).
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    wpar = np.asarray(wpar, dtype=np.float64)
+    n = len(parent)
+    if target is None:
+        target = contraction_target(n, diameter_hint, reduction_exponent)
+    if max_steps is None:
+        max_steps = 8 * int(np.ceil(np.log2(n + 2))) + 48
+    if not (0.0 < coin_bias < 1.0):
+        raise ValidationError("coin_bias must be in (0,1)")
+
+    ids = np.arange(n, dtype=np.int64)
+    leader = ids.copy()
+    # cluster state: one row per live cluster, keyed by leader vertex
+    cl_leader = ids.copy()
+    cl_pv = parent.copy()                 # parent vertex of the leader in T
+    cl_pcl = parent.copy()                # parent cluster's leader
+    cl_cw = wpar.copy()
+    cl_formed = np.zeros(n, dtype=np.int64)
+    cl_pv[root] = root
+    cl_pcl[root] = root
+
+    levels: List[MergeLevel] = []
+    counts = [n]
+    step = 0
+    hit = len(cl_leader) <= target
+    while len(cl_leader) > max(1, target) and step < max_steps:
+        step += 1
+        k = len(cl_leader)
+        heads = rt.rng.random(k) < coin_bias
+        # junior candidates: tails whose parent cluster flipped heads
+        coin_tab = Table(l=cl_leader, h=heads.astype(np.int64))
+        got = rt.lookup(
+            Table(l=cl_leader, p=cl_pcl), ("p",), coin_tab, ("l",), {"ph": "h"}
+        )
+        parent_heads = got.col("ph").astype(bool)
+        is_junior = (~heads) & parent_heads & (cl_leader != root)
+        if not is_junior.any():
+            counts.append(len(cl_leader))
+            continue
+
+        jl = cl_leader[is_junior]
+        jpv = cl_pv[is_junior]
+        jsl = cl_pcl[is_junior]
+        jcw = cl_cw[is_junior]
+        jformed = cl_formed[is_junior]
+        # senior version formation level before this merge
+        sprev_tab = rt.lookup(
+            Table(s=jsl), ("s",),
+            Table(l=cl_leader, f=cl_formed), ("l",), {"f": "f"},
+        )
+        sprev = sprev_tab.col("f")
+        levels.append(
+            MergeLevel(
+                level=step,
+                junior=jl.copy(),
+                parent_vertex=jpv.copy(),
+                senior=jsl.copy(),
+                cross_w=jcw.copy(),
+                junior_low=low[jl].copy(),
+                junior_high=high[jl].copy(),
+                junior_formed=jformed.copy(),
+                senior_prev_formed=sprev.copy(),
+            )
+        )
+
+        # junior -> senior relabel map
+        jmap = Table(j=jl, s=jsl)
+        # vertices in junior clusters adopt the senior leader
+        relab = rt.lookup(
+            Table(v=ids, l=leader), ("l",), jmap, ("j",), {"s": "s"},
+            default={"s": -1},
+        )
+        leader = np.where(relab.col("s") >= 0, relab.col("s"), leader)
+
+        # surviving clusters: drop juniors, rewire parent-cluster pointers
+        keep = ~is_junior
+        cl_leader = cl_leader[keep]
+        cl_pv = cl_pv[keep]
+        cl_pcl = cl_pcl[keep]
+        cl_cw = cl_cw[keep]
+        cl_formed = cl_formed[keep]
+        rewire = rt.lookup(
+            Table(l=cl_leader, p=cl_pcl), ("p",), jmap, ("j",), {"s": "s"},
+            default={"s": -1},
+        )
+        cl_pcl = np.where(rewire.col("s") >= 0, rewire.col("s"), cl_pcl)
+        # seniors that absorbed juniors this step: formation level = step
+        seniors = np.unique(jsl)
+        grew = rt.lookup(
+            Table(l=cl_leader), ("l",),
+            Table(s=seniors, one=np.ones(len(seniors), dtype=np.int64)),
+            ("s",), {"one": "one"}, default={"one": 0},
+        )
+        cl_formed = np.where(grew.col("one") == 1, step, cl_formed)
+        counts.append(len(cl_leader))
+        rt.tracker.observe_global_words(7 * len(cl_leader) + 8 * len(jl))
+
+    final_clusters = Table(
+        leader=cl_leader, pv=cl_pv, pcl=cl_pcl, cw=cl_cw, formed=cl_formed
+    )
+    return ClusterHierarchy(
+        n=n,
+        root=root,
+        levels=levels,
+        final_leader=leader,
+        final_clusters=final_clusters,
+        counts=counts,
+        target=target,
+        hit_target=len(cl_leader) <= max(1, target),
+        parent=parent,
+        wpar=wpar,
+    )

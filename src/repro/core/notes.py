@@ -1,0 +1,71 @@
+"""Root-to-leaf notes (Definition 4.4).
+
+A note ``(r, l, i, w)`` records that some non-tree edge of weight ``w``
+covers the tree path from cluster root ``r`` down to cluster leaf ``l``,
+inside the cluster *version* of leader ``r`` that was formed at
+contraction step ``i``. Notes are created when the sensitivity
+contraction process truncates edges (Definition 4.5 cases 4/5) and by
+Algorithm 6 for intermediate clusters, and are consumed by the
+Algorithm 7 unwind, which splits them level by level until every
+covered tree edge has received the note's weight as an ``mc`` bound.
+
+Only the cheapest note per ``(r, l, i)`` must be kept (the remark after
+Definition 4.4); :meth:`NoteSet.dedupe` enforces that, which also keeps
+the live note count ``O(n)`` (Lemma 4.6 / Claim 4.13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+
+__all__ = ["NoteSet", "empty_notes"]
+
+NOTE_SCHEMA = {"r": np.int64, "bottom": np.int64, "lvl": np.int64,
+               "w": np.float64}
+
+
+def empty_notes() -> Table:
+    return Table.empty(NOTE_SCHEMA)
+
+
+@dataclass
+class NoteSet:
+    """A deduplicated multiset of root-to-leaf notes + peak statistics."""
+
+    table: Table = field(default_factory=empty_notes)
+    peak: int = 0
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def add(self, rt: Runtime, new: Table) -> None:
+        """Add notes (dropping zero-length ones) and deduplicate."""
+        if len(new):
+            nontrivial = rt.filter(new, new.col("r") != new.col("bottom"))
+            self.table = Table.concat([self.table, nontrivial.select(
+                ["r", "bottom", "lvl", "w"])])
+        self.peak = max(self.peak, len(self.table))
+        self.dedupe(rt)
+
+    def dedupe(self, rt: Runtime) -> None:
+        if len(self.table) == 0:
+            return
+        self.table = rt.reduce_by_key(
+            self.table, ("r", "bottom", "lvl"), {"w": ("w", "min")}
+        )
+        self.peak = max(self.peak, len(self.table))
+
+    def take_level(self, rt: Runtime, level: int) -> Table:
+        """Remove and return the notes whose version formed at ``level``."""
+        if len(self.table) == 0:
+            return empty_notes()
+        sel = self.table.col("lvl") == level
+        cur = rt.filter(self.table, sel)
+        self.table = rt.filter(self.table, ~sel)
+        return cur

@@ -1,0 +1,75 @@
+"""Result types returned by the verification and sensitivity pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..mpc.cost import CostReport
+
+__all__ = ["VerificationResult", "SensitivityResult"]
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of Theorem 3.1 MST verification.
+
+    ``pathmax`` is aligned with ``nontree_index`` (positions of non-tree
+    edges in the input edge arrays); it doubles as the non-tree
+    sensitivity input (Observation 4.2).
+    """
+
+    is_mst: bool
+    reason: str
+    n_violations: int
+    violating_edges: np.ndarray          # indices into the input edge arrays
+    nontree_index: np.ndarray
+    pathmax: Optional[np.ndarray]
+    diameter_estimate: int
+    rounds: int
+    report: CostReport
+    cluster_counts: list = field(default_factory=list)
+
+    @property
+    def core_rounds(self) -> int:
+        """Rounds charged to the paper-contributed phases only."""
+        return self.report.rounds_in("core")
+
+    @property
+    def substrate_rounds(self) -> int:
+        return self.report.rounds_in("substrate")
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.is_mst
+
+
+@dataclass
+class SensitivityResult:
+    """Outcome of Theorem 4.1 MST sensitivity.
+
+    ``sensitivity[i]`` corresponds to input edge ``i``:
+
+    * tree edge: ``mc(e) - w(e)`` — how much the weight may *increase*
+      before ``e`` leaves the MST (``inf`` for bridges);
+    * non-tree edge: ``w(e) - pathmax(e)`` — how much the weight must
+      *decrease* before ``e`` enters the MST.
+    """
+
+    sensitivity: np.ndarray              # per input edge, ordered as input
+    mc: np.ndarray                       # min covering weight per tree edge (inf if none)
+    tree_index: np.ndarray
+    nontree_index: np.ndarray
+    diameter_estimate: int
+    rounds: int
+    report: CostReport
+    notes_peak: int = 0                  # max live root-to-leaf notes (Claim 4.13)
+
+    @property
+    def core_rounds(self) -> int:
+        return self.report.rounds_in("core")
+
+    @property
+    def substrate_rounds(self) -> int:
+        return self.report.rounds_in("substrate")

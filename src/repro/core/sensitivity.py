@@ -1,0 +1,118 @@
+"""MST sensitivity in ``O(log D_T)`` rounds (Theorem 4.1, Algorithm 4).
+
+For non-tree edges the sensitivity is ``w(e) - pathmax(e)`` — how far
+the weight must drop for ``e`` to enter an MST — and the path maxima
+come straight from the verification machinery (Observations 2.20 / 4.2
+/ 4.3). For tree edges the task is ``mc(e)``: the minimum weight of a
+non-tree edge *covering* ``e`` (Definition 2.1); then
+``sens(e) = mc(e) - w(e)`` (``inf`` for bridges). ``mc`` is assembled
+from three sources:
+
+1. contracted edges bounded during the sensitivity contraction process
+   (Algorithm 5, §4.1);
+2. inter-cluster edges of the final cluster tree (Algorithm 6, §4.2);
+3. intra-cluster edges reached by unwinding the root-to-leaf notes
+   (Algorithm 7, §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..graph.graph import WeightedGraph
+from ..mpc import MPCConfig
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+from .contraction_sens import run_sensitivity_contraction
+from .cluster_sens import run_cluster_sensitivity
+from .results import SensitivityResult
+from .unwind import run_unwind
+from .verification import verify_mst
+
+__all__ = ["mst_sensitivity"]
+
+
+def mst_sensitivity(
+    graph: WeightedGraph,
+    engine: str = "local",
+    config: Optional[MPCConfig] = None,
+    root: int = 0,
+    oracle_labels: bool = False,
+    runtime: Optional[Runtime] = None,
+    require_mst: bool = True,
+    reduction_exponent: float = 1.0,
+    coin_bias: float = 0.5,
+) -> SensitivityResult:
+    """Sensitivity of every edge w.r.t. the flagged MST of ``graph``.
+
+    Raises :class:`~repro.errors.ValidationError` if the flagged tree is
+    not an MST (the problem is defined for MSTs; pass
+    ``require_mst=False`` to skip the check and analyse covering weights
+    of an arbitrary spanning tree).
+    """
+    internals: dict = {}
+    ver = verify_mst(
+        graph, engine=engine, config=config, root=root,
+        oracle_labels=oracle_labels, runtime=runtime,
+        reduction_exponent=reduction_exponent, coin_bias=coin_bias,
+        _internals=internals,
+    )
+    if not internals:
+        raise ValidationError(f"input tree is not a spanning tree ({ver.reason})")
+    if require_mst and not ver.is_mst:
+        raise ValidationError(
+            f"sensitivity is defined for MSTs; verification failed "
+            f"({ver.n_violations} violating edges)"
+        )
+    rt: Runtime = internals["rt"]
+    hierarchy = internals["hierarchy"]
+    halves = internals["halves"]
+    low, high = internals["low"], internals["high"]
+    parent = internals["parent"]
+
+    with rt.phase("core"):
+        with rt.phase("sens-contract"):
+            state = run_sensitivity_contraction(rt, hierarchy, halves, low, high)
+        with rt.phase("sens-cluster"):
+            mc2 = run_cluster_sensitivity(rt, hierarchy, state)
+        with rt.phase("sens-unwind"):
+            mc3 = run_unwind(rt, hierarchy, state.notes, low, high)
+        with rt.phase("sens-finalize"):
+            updates: List[Table] = state.mc_updates + mc2 + mc3
+            updates = [t for t in updates if len(t)]
+            n = graph.n
+            if updates:
+                allup = Table.concat([t.select(["key", "w"]) for t in updates])
+                mins = rt.reduce_by_key(allup, ("key",), {"mc": ("w", "min")})
+                got = rt.lookup(
+                    Table(v=np.arange(n, dtype=np.int64)), ("v",),
+                    mins, ("key",), {"mc": "mc"}, default={"mc": np.inf},
+                )
+                mc = got.col("mc")
+            else:
+                mc = np.full(n, np.inf, dtype=np.float64)
+
+    # assemble per-input-edge sensitivities
+    tree_index = np.flatnonzero(graph.tree_mask)
+    nontree_index = ver.nontree_index
+    tu = graph.u[tree_index]
+    tv = graph.v[tree_index]
+    tw = graph.w[tree_index]
+    child = np.where(parent[tu] == tv, tu, tv)
+    sens = np.empty(graph.m, dtype=np.float64)
+    sens[tree_index] = mc[child] - tw
+    sens[nontree_index] = graph.w[nontree_index] - ver.pathmax
+
+    return SensitivityResult(
+        sensitivity=sens,
+        mc=mc,
+        tree_index=tree_index,
+        nontree_index=nontree_index,
+        diameter_estimate=ver.diameter_estimate,
+        rounds=rt.rounds,
+        report=rt.report(),
+        notes_peak=state.notes.peak,
+    )

@@ -1,0 +1,91 @@
+"""Unwinding the contraction and finishing ``mc`` (§4.3, Algorithm 7).
+
+Processes the root-to-leaf notes level by level, from the last
+contraction step back to the first. A note ``(r, bottom, i, w)`` covers
+the path from cluster-version ``(r, i)``'s root down to ``bottom``;
+expanding the version into its senior sub-cluster and juniors splits the
+note into (at most) a senior note, a junior note, and an ``mc`` bound on
+the contracted tree edge between them (lines 5–9). Deduplication
+(line 12) keeps the live note count ``O(n)`` (Claim 4.13).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..mpc.runtime import Runtime, pack_pair
+from ..mpc.table import Table
+from .hierarchy import ClusterHierarchy
+from .notes import NoteSet
+
+__all__ = ["run_unwind"]
+
+
+def run_unwind(
+    rt: Runtime,
+    hierarchy: ClusterHierarchy,
+    notes: NoteSet,
+    low: np.ndarray,
+    high: np.ndarray,
+) -> List[Table]:
+    """Algorithm 7: decompose all notes; returns the mc-update tables."""
+    mc_updates: List[Table] = []
+    for lv in reversed(hierarchy.levels):
+        cur = notes.take_level(rt, lv.level)
+        if len(cur) == 0:
+            continue
+        # which junior of version (r, lv.level) contains `bottom`?
+        recs = Table(
+            senior=lv.senior, junior=lv.junior, jlow=lv.junior_low,
+            jhigh=lv.junior_high, jformed=lv.junior_formed,
+            sprev=lv.senior_prev_formed, pv=lv.parent_vertex,
+        )
+        data = rt.sort(recs, ("senior", "jlow"))
+        bdfs = low[cur.col("bottom")]
+        q = Table(s=cur.col("r"), d=bdfs)
+        dk, qk = pack_pair(data, ("senior", "jlow"), q, ("s", "d"))
+        got = rt.predecessor(
+            q.with_cols(__pk=qk), "__pk", data.with_cols(__pk=dk), "__pk",
+            {"jq": "junior", "jlo": "jlow", "jhi": "jhigh", "js": "senior",
+             "jfo": "jformed", "jsp": "sprev", "jpv": "pv"},
+            {"jq": -1, "jlo": 0, "jhi": -1, "js": -1, "jfo": -1, "jsp": -1,
+             "jpv": -1},
+        )
+        hit = (
+            (got.col("js") == cur.col("r"))
+            & (got.col("jlo") <= bdfs)
+            & (bdfs <= got.col("jhi"))
+            & (got.col("jq") >= 0)
+        )
+        # every note at this level references a version that merged here,
+        # so the senior's previous formation level exists for all rows
+        sprev_map = rt.reduce_by_key(
+            Table(s=lv.senior, f=lv.senior_prev_formed), ("s",),
+            {"f": ("f", "min")},
+        )
+        sprev = rt.lookup(
+            Table(s=cur.col("r")), ("s",), sprev_map, ("s",), {"f": "f"},
+            default={"f": 0},
+        ).col("f")
+
+        w = cur.col("w")
+        if hit.any():
+            # line 6: bound the contracted edge (junior root, its parent)
+            mc_updates.append(Table(key=got.col("jq")[hit], w=w[hit]))
+        # line 8: senior part r -> p(junior root), at the senior's level
+        senior_bottom = np.where(hit, got.col("jpv"), cur.col("bottom"))
+        notes.add(rt, Table(
+            r=cur.col("r"), bottom=senior_bottom, lvl=sprev, w=w,
+        ))
+        # line 9: junior part (junior root -> bottom), at the junior's level
+        if hit.any():
+            notes.add(rt, Table(
+                r=got.col("jq")[hit],
+                bottom=cur.col("bottom")[hit],
+                lvl=got.col("jfo")[hit],
+                w=w[hit],
+            ))
+    # all remaining notes are zero-length singletons and were dropped
+    return mc_updates

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type. Model-violation errors (machine memory
+overflow, malformed inputs) get dedicated subclasses because benchmarks
+and tests assert on them specifically.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError):
+    """An input failed structural validation (shape, dtype, range)."""
+
+
+class NotATreeError(ValidationError):
+    """A candidate edge set is not a tree/forest of the expected form."""
+
+
+class DisconnectedGraphError(ValidationError):
+    """An operation required a connected input graph."""
+
+
+class CapacityError(ReproError):
+    """A simulated machine exceeded its local memory budget ``s``.
+
+    Raised by the distributed engine when a protocol step would make a
+    machine hold or transfer more than ``s`` words in one round, i.e. the
+    algorithm violated the MPC model's local-space constraint.
+    """
+
+    def __init__(self, machine: int, words: int, capacity: int, what: str = "hold"):
+        self.machine = machine
+        self.words = words
+        self.capacity = capacity
+        super().__init__(
+            f"machine {machine} asked to {what} {words} words "
+            f"but local capacity is s={capacity}"
+        )
+
+
+class KeyPackingError(ReproError):
+    """Composite sort keys could not be packed into a single 63-bit word."""
+
+
+class ProtocolError(ReproError):
+    """A runtime primitive was called with inconsistent arguments
+    (e.g. a lookup against a table with duplicate keys)."""

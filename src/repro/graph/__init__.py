@@ -1,0 +1,22 @@
+"""Graph and tree substrate: representations, generators, validation."""
+
+from .graph import WeightedGraph
+from .tree import RootedTree, build_adjacency
+from .validation import (
+    UnionFind,
+    connected_components,
+    count_components,
+    is_forest,
+    is_spanning_tree,
+)
+
+__all__ = [
+    "WeightedGraph",
+    "RootedTree",
+    "build_adjacency",
+    "UnionFind",
+    "connected_components",
+    "count_components",
+    "is_forest",
+    "is_spanning_tree",
+]

@@ -1,0 +1,303 @@
+"""Workload generators for experiments, tests and examples.
+
+Tree shapes with controlled diameter, graphs whose candidate tree is (or
+deliberately is not) an MST, and the 1-vs-2-cycle lower-bound family of
+Theorem 5.2 / Appendix A.
+
+All generators take a :class:`numpy.random.Generator` (or a seed) and are
+fully deterministic given it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from .graph import WeightedGraph
+from .tree import RootedTree
+
+__all__ = [
+    "path_tree",
+    "star_tree",
+    "balanced_tree",
+    "caterpillar_tree",
+    "backbone_tree",
+    "random_recursive_tree",
+    "tree_instance",
+    "TREE_SHAPES",
+    "attach_nontree_edges",
+    "known_mst_instance",
+    "perturb_break_mst",
+    "one_vs_two_cycles_instance",
+    "random_connected_graph",
+]
+
+
+def _rng(rng) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+# --------------------------------------------------------------------------- trees
+
+
+def path_tree(n: int) -> RootedTree:
+    """A path 0-1-...-(n-1) rooted at 0 (diameter n-1)."""
+    parent = np.arange(-1, n - 1, dtype=np.int64)
+    parent[0] = 0
+    return RootedTree(parent=parent, root=0)
+
+
+def star_tree(n: int) -> RootedTree:
+    """A star rooted at the hub (diameter 2 for n >= 3)."""
+    parent = np.zeros(n, dtype=np.int64)
+    return RootedTree(parent=parent, root=0)
+
+
+def balanced_tree(n: int, branching: int = 2) -> RootedTree:
+    """Complete ``branching``-ary tree on n vertices (diameter ~2 log_b n)."""
+    if branching < 2:
+        raise ValidationError("branching must be >= 2")
+    idx = np.arange(n, dtype=np.int64)
+    parent = np.maximum((idx - 1) // branching, 0)
+    parent[0] = 0
+    return RootedTree(parent=parent, root=0)
+
+
+def caterpillar_tree(n: int, spine: int) -> RootedTree:
+    """A spine path of ``spine`` vertices with leaves attached round-robin."""
+    if not (1 <= spine <= n):
+        raise ValidationError("need 1 <= spine <= n")
+    parent = np.zeros(n, dtype=np.int64)
+    parent[1:spine] = np.arange(0, spine - 1)
+    if n > spine:
+        legs = np.arange(spine, n, dtype=np.int64)
+        parent[legs] = (legs - spine) % spine
+    return RootedTree(parent=parent, root=0)
+
+
+def backbone_tree(n: int, diameter: int, rng=0) -> RootedTree:
+    """A tree with *exact* unweighted diameter ``diameter``.
+
+    A backbone path realises the diameter; the remaining vertices hang as
+    depth-1 leaves off random interior backbone vertices, which cannot
+    increase the diameter. Requires ``2 <= diameter <= n-1`` (and
+    ``diameter >= 2`` whenever leaves are attached).
+    """
+    rng = _rng(rng)
+    if n < 2:
+        raise ValidationError("backbone_tree needs n >= 2")
+    if not (1 <= diameter <= n - 1):
+        raise ValidationError(f"diameter must be in [1, n-1], got {diameter}")
+    L = diameter  # backbone has L+1 vertices 0..L
+    parent = np.zeros(n, dtype=np.int64)
+    parent[1: L + 1] = np.arange(0, L)
+    extra = n - (L + 1)
+    if extra > 0:
+        if diameter < 2:
+            raise ValidationError("diameter must be >= 2 when n > diameter+1")
+        hosts = rng.integers(1, L, size=extra)  # interior vertices only
+        parent[L + 1:] = hosts
+    return RootedTree(parent=parent, root=0)
+
+
+def random_recursive_tree(n: int, rng=0) -> RootedTree:
+    """Each vertex attaches to a uniform earlier vertex (diameter Θ(log n))."""
+    rng = _rng(rng)
+    parent = np.zeros(n, dtype=np.int64)
+    for i in range(1, n):
+        parent[i] = rng.integers(0, i)
+    return RootedTree(parent=parent, root=0)
+
+
+TREE_SHAPES = (
+    "path",
+    "star",
+    "binary",
+    "ternary",
+    "caterpillar",
+    "random",
+)
+
+
+def tree_instance(shape: str, n: int, rng=0) -> RootedTree:
+    """Dispatch by shape name (see :data:`TREE_SHAPES`)."""
+    rng = _rng(rng)
+    if shape == "path":
+        return path_tree(n)
+    if shape == "star":
+        return star_tree(n)
+    if shape == "binary":
+        return balanced_tree(n, 2)
+    if shape == "ternary":
+        return balanced_tree(n, 3)
+    if shape == "caterpillar":
+        return caterpillar_tree(n, max(1, n // 3))
+    if shape == "random":
+        return random_recursive_tree(n, rng)
+    raise ValidationError(f"unknown tree shape {shape!r}")
+
+
+# --------------------------------------------------------------------------- graphs
+
+
+def attach_nontree_edges(
+    tree: RootedTree,
+    extra_m: int,
+    rng=0,
+    mode: str = "mst",
+    spread: float = 1.0,
+    tree_weights: np.ndarray | None = None,
+) -> WeightedGraph:
+    """Add ``extra_m`` random non-tree edges to a rooted tree.
+
+    Modes
+    -----
+    ``mst``
+        tree weights uniform in (0,1); each non-tree edge weighs
+        ``path_max + Uniform(0, spread) + eps`` so the tree is the
+        *unique* MST and sensitivities are non-trivial.
+    ``tight``
+        like ``mst`` but a third of the extra edges tie exactly with
+        their path maximum (T remains an MST; exercises tie handling).
+    ``random``
+        all weights uniform; T usually is *not* an MST.
+    """
+    rng = _rng(rng)
+    n = tree.n
+    if tree_weights is None:
+        tw = rng.uniform(0.0, 1.0, size=n)
+    else:
+        tw = np.asarray(tree_weights, dtype=np.float64)
+    tw = tw.copy()
+    tw[tree.root] = 0.0
+    wtree = RootedTree(parent=tree.parent.copy(), root=tree.root, weight=tw)
+
+    if n >= 2:
+        a = rng.integers(0, n, size=extra_m)
+        b = rng.integers(0, n - 1, size=extra_m)
+        b = np.where(b >= a, b + 1, b)  # distinct endpoints
+    else:
+        a = np.empty(0, dtype=np.int64)
+        b = np.empty(0, dtype=np.int64)
+
+    if mode == "random":
+        wx = rng.uniform(0.0, 1.0, size=extra_m)
+    else:
+        pmax = wtree.path_max(a, b) if extra_m else np.empty(0)
+        slack = rng.uniform(0.0, spread, size=extra_m) + 1e-9
+        wx = pmax + slack
+        if mode == "tight" and extra_m:
+            ties = rng.random(extra_m) < (1.0 / 3.0)
+            wx = np.where(ties, pmax, wx)
+        elif mode != "mst":
+            raise ValidationError(f"unknown mode {mode!r}")
+
+    child, par, cw = wtree.edge_arrays()
+    u = np.concatenate([child, a])
+    v = np.concatenate([par, b])
+    w = np.concatenate([cw, wx])
+    mask = np.concatenate(
+        [np.ones(n - 1, dtype=bool), np.zeros(extra_m, dtype=bool)]
+    )
+    return WeightedGraph(n=n, u=u, v=v, w=w, tree_mask=mask)
+
+
+def known_mst_instance(
+    shape: str, n: int, extra_m: int, rng=0, mode: str = "mst"
+) -> Tuple[WeightedGraph, RootedTree]:
+    """A (graph, rooted tree) pair where the tree is known to be the MST."""
+    rng = _rng(rng)
+    tree = tree_instance(shape, n, rng)
+    g = attach_nontree_edges(tree, extra_m, rng, mode=mode)
+    tm = g.tree_mask
+    rooted = RootedTree.from_edges(n, g.u[tm], g.v[tm], g.w[tm], root=tree.root)
+    return g, rooted
+
+
+def perturb_break_mst(graph: WeightedGraph, rng=0) -> WeightedGraph:
+    """Lower one random non-tree edge strictly below its tree-path maximum.
+
+    The returned graph's candidate tree is provably not an MST (the cycle
+    property is violated). Requires at least one non-tree edge whose tree
+    path is non-empty.
+    """
+    rng = _rng(rng)
+    tm = graph.tree_mask
+    tree = RootedTree.from_edges(
+        graph.n, graph.u[tm], graph.v[tm], graph.w[tm], root=0
+    )
+    nt_idx = np.flatnonzero(~tm)
+    if len(nt_idx) == 0:
+        raise ValidationError("graph has no non-tree edges to perturb")
+    pmax = tree.path_max(graph.u[nt_idx], graph.v[nt_idx])
+    usable = nt_idx[np.isfinite(pmax)]
+    if len(usable) == 0:
+        raise ValidationError("no perturbable non-tree edge")
+    pick = usable[int(rng.integers(0, len(usable)))]
+    w = graph.w.copy()
+    target = tree.path_max(
+        graph.u[pick: pick + 1], graph.v[pick: pick + 1]
+    )[0]
+    w[pick] = target - abs(target) * 1e-3 - 1e-3
+    return graph.with_weights(w)
+
+
+def one_vs_two_cycles_instance(
+    n: int, two_cycles: bool, rng=0
+) -> Tuple[WeightedGraph, int]:
+    """The sparse Theorem 5.2 / Appendix A hard family.
+
+    ``n`` cycle vertices (ids shuffled) forming one n-cycle or two
+    n/2-cycles, plus an apex vertex adjacent to every cycle vertex with
+    weight 2; cycle edges weigh 1. The candidate ``T`` is the cycle edge
+    set minus one edge, plus one apex edge: a spanning MST in the
+    one-cycle case, and not even a tree (cycle + disconnection) in the
+    two-cycle case. The graph has diameter 2 while ``D_T = Θ(n)``.
+
+    Returns ``(graph, apex_vertex)``.
+    """
+    rng = _rng(rng)
+    if n < 6 or n % 2:
+        raise ValidationError("n must be even and >= 6")
+    perm = rng.permutation(n).astype(np.int64)
+    apex = n
+    edges_u, edges_v = [], []
+    if two_cycles:
+        halves = (perm[: n // 2], perm[n // 2:])
+    else:
+        halves = (perm,)
+    for cyc in halves:
+        edges_u.append(cyc)
+        edges_v.append(np.roll(cyc, -1))
+    cu = np.concatenate(edges_u)
+    cv = np.concatenate(edges_v)
+    # candidate T: all cycle edges except the very first one, plus apex->perm[0]
+    drop = 0
+    keep = np.ones(len(cu), dtype=bool)
+    keep[drop] = False
+    u = np.concatenate([cu, np.full(n, apex, dtype=np.int64)])
+    v = np.concatenate([cv, np.arange(n, dtype=np.int64)])
+    w = np.concatenate([np.ones(len(cu)), np.full(n, 2.0)])
+    mask = np.zeros(len(u), dtype=bool)
+    mask[: len(cu)] = keep
+    mask[len(cu) + int(perm[0])] = True  # apex edge to perm[0]
+    g = WeightedGraph(n=n + 1, u=u, v=v, w=w, tree_mask=mask)
+    return g, apex
+
+
+def random_connected_graph(n: int, m: int, rng=0) -> WeightedGraph:
+    """Random connected graph: random recursive tree + uniform extras.
+
+    Candidate tree flags are left on the constructed tree edges; weights
+    are uniform (the tree generally is not an MST — useful for exercising
+    "reject" paths).
+    """
+    rng = _rng(rng)
+    if m < n - 1:
+        raise ValidationError("need m >= n-1 for connectivity")
+    tree = random_recursive_tree(n, rng)
+    return attach_nontree_edges(tree, m - (n - 1), rng, mode="random")

@@ -1,0 +1,126 @@
+"""Edge-list weighted graphs.
+
+The MPC input format of the paper: a multiset of weighted undirected
+edges, each an ``O(1)``-word record, plus the vertex count. Candidate
+trees are flagged per edge (``tree_mask``), matching the paper's input
+convention "a graph G and a tree T ⊆ E".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["WeightedGraph"]
+
+
+@dataclass
+class WeightedGraph:
+    """An undirected edge-weighted multigraph on vertices ``0..n-1``.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    u, v:
+        int64 endpoint arrays (parallel).
+    w:
+        float64 weight array (parallel). Integral weights are fine; they
+        are stored as floats for uniform sentinel handling (±inf).
+    tree_mask:
+        bool array marking the candidate-tree edges ``T ⊆ E``.
+    """
+
+    n: int
+    u: np.ndarray
+    v: np.ndarray
+    w: np.ndarray
+    tree_mask: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.u = np.asarray(self.u, dtype=np.int64)
+        self.v = np.asarray(self.v, dtype=np.int64)
+        self.w = np.asarray(self.w, dtype=np.float64)
+        if self.tree_mask is None:
+            self.tree_mask = np.zeros(len(self.u), dtype=bool)
+        self.tree_mask = np.asarray(self.tree_mask, dtype=bool)
+        if not (len(self.u) == len(self.v) == len(self.w) == len(self.tree_mask)):
+            raise ValidationError("edge arrays must have equal length")
+        if self.n < 1:
+            raise ValidationError("graph needs at least one vertex")
+        if len(self.u) and (
+            self.u.min() < 0 or self.v.min() < 0
+            or self.u.max() >= self.n or self.v.max() >= self.n
+        ):
+            raise ValidationError("edge endpoint out of range")
+        if np.any(self.u == self.v):
+            raise ValidationError("self-loops are not allowed")
+        if len(self.w) and not np.isfinite(self.w).all():
+            raise ValidationError("edge weights must be finite")
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def from_edges(n: int, edges: Iterable[Tuple[int, int, float]],
+                   tree_edges: Iterable[Tuple[int, int]] = ()) -> "WeightedGraph":
+        """Build from ``(u, v, w)`` triples; ``tree_edges`` flags ``T``.
+
+        Tree-edge pairs are matched irrespective of endpoint order; each
+        pair marks one (the first unmarked) matching edge.
+        """
+        edges = list(edges)
+        u = np.array([e[0] for e in edges], dtype=np.int64)
+        v = np.array([e[1] for e in edges], dtype=np.int64)
+        w = np.array([e[2] for e in edges], dtype=np.float64)
+        mask = np.zeros(len(edges), dtype=bool)
+        want = {}
+        for a, b in tree_edges:
+            key = (min(a, b), max(a, b))
+            want[key] = want.get(key, 0) + 1
+        for i in range(len(edges)):
+            key = (min(u[i], v[i]), max(u[i], v[i]))
+            if want.get(key, 0) > 0:
+                mask[i] = True
+                want[key] -= 1
+        left = {k: c for k, c in want.items() if c > 0}
+        if left:
+            raise ValidationError(f"tree edges not present in edge list: {left}")
+        return WeightedGraph(n=n, u=u, v=v, w=w, tree_mask=mask)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self.u)
+
+    @property
+    def m_tree(self) -> int:
+        return int(self.tree_mask.sum())
+
+    def tree_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        t = self.tree_mask
+        return self.u[t], self.v[t], self.w[t]
+
+    def nontree_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        t = ~self.tree_mask
+        return self.u[t], self.v[t], self.w[t]
+
+    def total_words(self) -> int:
+        """Input size in machine words (4 words/edge + n)."""
+        return 4 * self.m + self.n
+
+    def copy(self) -> "WeightedGraph":
+        return WeightedGraph(self.n, self.u.copy(), self.v.copy(),
+                             self.w.copy(), self.tree_mask.copy())
+
+    def with_weights(self, w: np.ndarray) -> "WeightedGraph":
+        return WeightedGraph(self.n, self.u.copy(), self.v.copy(),
+                             np.asarray(w, dtype=np.float64), self.tree_mask.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WeightedGraph(n={self.n}, m={self.m}, tree={self.m_tree})"

@@ -1,0 +1,93 @@
+"""Sequential structural validation used as oracles and input guards.
+
+Union-find based checks for forests/spanning trees and connectivity. The
+distributed algorithms have their own O(log D)-round checks; these are
+the independent single-machine references.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "UnionFind",
+    "is_forest",
+    "is_spanning_tree",
+    "connected_components",
+    "count_components",
+]
+
+
+class UnionFind:
+    """Array-based DSU with union by size and path halving."""
+
+    def __init__(self, n: int):
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+        self.n_components = n
+
+    def find(self, x: int) -> int:
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.n_components -= 1
+        return True
+
+
+def is_forest(n: int, u: np.ndarray, v: np.ndarray) -> bool:
+    """True iff the edge list is acyclic (a forest)."""
+    uf = UnionFind(n)
+    for a, b in zip(np.asarray(u), np.asarray(v)):
+        if a == b or not uf.union(int(a), int(b)):
+            return False
+    return True
+
+
+def is_spanning_tree(n: int, u: np.ndarray, v: np.ndarray) -> bool:
+    """True iff the edge list is a spanning tree of vertices 0..n-1."""
+    if len(u) != n - 1:
+        return False
+    uf = UnionFind(n)
+    for a, b in zip(np.asarray(u), np.asarray(v)):
+        if a == b or not uf.union(int(a), int(b)):
+            return False
+    return uf.n_components == 1
+
+
+def connected_components(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Component label (minimum member id) per vertex."""
+    uf = UnionFind(n)
+    for a, b in zip(np.asarray(u), np.asarray(v)):
+        uf.union(int(a), int(b))
+    roots = np.array([uf.find(i) for i in range(n)], dtype=np.int64)
+    # canonicalise: label by minimum vertex id in the component
+    label = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(label, roots, np.arange(n, dtype=np.int64))
+    return label[roots]
+
+
+def count_components(n: int, u: np.ndarray, v: np.ndarray) -> int:
+    uf = UnionFind(n)
+    for a, b in zip(np.asarray(u), np.asarray(v)):
+        uf.union(int(a), int(b))
+    return uf.n_components
+
+
+def require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValidationError(message)

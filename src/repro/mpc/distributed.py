@@ -1,0 +1,585 @@
+"""Message-level MPC engine.
+
+Every runtime primitive is realised as an explicit multi-round protocol
+over the :class:`~repro.mpc.machines.Fabric`: records are block-
+partitioned into shards, machines exchange real packets, and the
+per-machine memory cap ``s`` is enforced on every round. The protocols
+are the classical [GSZ11] constructions:
+
+* ``sort``   — sample sort (local sort, sampled splitters on machine 0,
+  splitter broadcast, bucket routing with tie-spreading, exact block
+  rebalance);
+* ``scan``   — local segmented scans + carry chain resolved on machine 0;
+* ``lookup``/``predecessor`` — co-sort of tagged records + distributed
+  forward-fill ("copy down"), then routing answers back to the callers;
+* ``reduce_by_key`` — sort, scan, boundary exchange, compaction;
+* ``filter``/``scalar`` — compaction / aggregation trees.
+
+Outputs are bit-identical to :class:`~repro.mpc.local.LocalRuntime`
+(tests assert this), and model rounds are charged identically; actual
+transport rounds are additionally counted by the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CapacityError, ProtocolError, ValidationError
+from .config import MPCConfig
+from .kernels import (
+    forward_fill,
+    op_combine,
+    op_identity,
+    segment_starts,
+    segmented_scan,
+)
+from .local import _default_fill
+from .machines import Fabric
+from .runtime import Runtime, pack_columns, pack_pair
+from .table import Table
+
+__all__ = ["DistributedRuntime"]
+
+
+class DistributedRuntime(Runtime):
+    """Message-level engine; see module docstring."""
+
+    def __init__(self, config: MPCConfig | None = None, total_words_hint: int = 4096):
+        super().__init__(config)
+        self.s = self.config.machine_capacity(total_words_hint)
+        self.m = self.config.machine_count(total_words_hint)
+        if self.m > self.s:
+            raise ValidationError(
+                f"deployment has m={self.m} > s={self.s}: single-level protocols "
+                f"need m <= s (raise delta or min_machine_words for this input size)"
+            )
+        self.fabric = Fabric(self.m, self.s, self.tracker)
+
+    # ------------------------------------------------------------------ plumbing
+
+    def _rows_cap(self, ncols: int) -> int:
+        return max(1, self.s // (2 * max(1, ncols)))
+
+    def _scatter(self, table: Table) -> Tuple[List[Table], int]:
+        cap = self._rows_cap(len(table.columns))
+        need = -(-len(table) // cap) if len(table) else 0
+        if need > self.m:
+            raise CapacityError(self.m - 1, len(table) * len(table.columns),
+                                self.m * cap * len(table.columns), what="hold input of")
+        shards = []
+        for j in range(self.m):
+            lo, hi = j * cap, min((j + 1) * cap, len(table))
+            if lo >= len(table):
+                shards.append(table.head(0))
+            else:
+                shards.append(table.take(np.arange(lo, hi)))
+            self.tracker.observe_machine_words(shards[-1].words)
+        return shards, cap
+
+    @staticmethod
+    def _gather(shards: List[Table]) -> Table:
+        return Table.concat(shards)
+
+    def _broadcast_tree(self, src: int, table: Table) -> List[Table]:
+        """Deliver ``table`` to every machine via an f-ary fan-out tree.
+
+        Per round each informed machine forwards at most
+        ``f = s // words`` copies, so no machine exceeds its send cap.
+        """
+        m = self.m
+        w = max(1, table.words)
+        if 2 * w > self.s:
+            raise CapacityError(src, 2 * w, self.s, what="broadcast")
+        f = max(1, self.s // w)
+        delivered: dict[int, Table] = {src: table}
+        while len(delivered) < m:
+            outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
+            targets = [j for j in range(m) if j not in delivered]
+            ti = 0
+            for sender in sorted(delivered):
+                for _ in range(f):
+                    if ti >= len(targets):
+                        break
+                    outbox[sender].append((targets[ti], table))
+                    ti += 1
+                if ti >= len(targets):
+                    break
+            inbox = self.fabric.exchange(outbox)
+            for j in range(m):
+                if j not in delivered and inbox[j]:
+                    delivered[j] = inbox[j][0]
+        return [delivered[j] for j in range(m)]
+
+    def _rebalance(self, shards: List[Table], cap: int) -> List[Table]:
+        """Exactly block-redistribute shard rows, preserving order (3 rounds)."""
+        m = self.m
+        # round 1: counts to machine 0
+        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
+        for j, sh in enumerate(shards):
+            outbox[j].append((0, Table(__j=[j], __c=[len(sh)])))
+        inbox = self.fabric.exchange(outbox)
+        counts = np.zeros(m, dtype=np.int64)
+        for t in inbox[0]:
+            counts[t.col("__j")[0]] = t.col("__c")[0]
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        # round 2: offsets back out
+        outbox = [[] for _ in range(m)]
+        for j in range(m):
+            outbox[0].append((j, Table(__o=[offsets[j]])))
+        inbox = self.fabric.exchange(outbox)
+        # round 3: route rows to block positions
+        outbox = [[] for _ in range(m)]
+        for j, sh in enumerate(shards):
+            if len(sh) == 0:
+                continue
+            off = int(inbox[j][0].col("__o")[0])
+            pos = off + np.arange(len(sh), dtype=np.int64)
+            dst = pos // cap
+            aug = sh.with_cols(__p=pos)
+            for d in np.unique(dst):
+                outbox[j].append((int(d), aug.mask(dst == d)))
+        inbox = self.fabric.exchange(outbox)
+        out = []
+        for j in range(m):
+            if inbox[j]:
+                merged = Table.concat(inbox[j])
+                merged = merged.take(np.argsort(merged.col("__p"), kind="stable"))
+                out.append(merged.drop("__p"))
+            else:
+                out.append(shards[j].head(0))
+        return out
+
+    # ------------------------------------------------------------------ sort
+
+    def _sort_impl(self, table: Table, key: np.ndarray) -> Table:
+        """Sample sort by ``key`` with original-order tiebreak; not charged."""
+        n = len(table)
+        if n <= 1:
+            return table
+        aug = table.with_cols(__k=key, __g=np.arange(n, dtype=np.int64))
+        shards, cap = self._scatter(aug)
+        m = self.m
+
+        def _local_sort(sh: Table) -> Table:
+            if len(sh) == 0:
+                return sh
+            return sh.take(np.lexsort((sh.col("__g"), sh.col("__k"))))
+
+        shards = [_local_sort(sh) for sh in shards]
+        # sample round
+        q = max(1, min(self.s // max(1, m), 8 * int(np.ceil(np.log2(m + 1)))))
+        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
+        for j, sh in enumerate(shards):
+            if len(sh) == 0:
+                continue
+            take = min(q, len(sh))
+            idxs = np.linspace(0, len(sh) - 1, num=take).astype(np.int64)
+            outbox[j].append((0, Table(__k=sh.col("__k")[idxs])))
+        inbox = self.fabric.exchange(outbox)
+        samples = (
+            np.sort(np.concatenate([t.col("__k") for t in inbox[0]]))
+            if inbox[0]
+            else np.empty(0, dtype=np.int64)
+        )
+        if len(samples) and m > 1:
+            pos = (np.arange(1, m, dtype=np.int64) * len(samples)) // m
+            splitters = samples[np.minimum(pos, len(samples) - 1)]
+        else:
+            splitters = np.empty(0, dtype=np.int64)
+        # splitter broadcast (fan-out tree)
+        sp_everywhere = self._broadcast_tree(0, Table(__s=splitters))
+        # bucket routing (monotone tie-spreading keeps total order)
+        outbox = [[] for _ in range(m)]
+        for j, sh in enumerate(shards):
+            if len(sh) == 0:
+                continue
+            sp = sp_everywhere[j].col("__s")
+            k, g = sh.col("__k"), sh.col("__g")
+            lo = np.searchsorted(sp, k, side="left")
+            hi = np.searchsorted(sp, k, side="right")
+            bucket = lo + (g * (hi - lo + 1)) // n
+            for d in np.unique(bucket):
+                outbox[j].append((int(d), sh.mask(bucket == d)))
+        inbox = self.fabric.exchange(outbox)
+        shards = [
+            _local_sort(Table.concat(parts)) if parts else aug.head(0)
+            for parts in inbox
+        ]
+        shards = self._rebalance(shards, cap)
+        return self._gather(shards).drop("__k", "__g")
+
+    def sort(self, table: Table, by: Sequence[str]) -> Table:
+        key = pack_columns(table, by)
+        self.tracker.charge("sort", table.words)
+        return self._sort_impl(table, key)
+
+    # ------------------------------------------------------------------ scan
+
+    def _scan_impl(
+        self,
+        keys: np.ndarray | None,
+        values: np.ndarray,
+        op: str,
+        exclusive: bool,
+    ) -> np.ndarray:
+        n = len(values)
+        if n == 0:
+            return values.copy()
+        tab = Table(
+            __k=keys if keys is not None else np.zeros(n, dtype=np.int64),
+            __v=values,
+        )
+        shards, _ = self._scatter(tab)
+        m = self.m
+        ident = op_identity(op, values.dtype)
+        # local inclusive scans + summaries to machine 0
+        local_inc: List[np.ndarray] = []
+        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
+        for j, sh in enumerate(shards):
+            if len(sh) == 0:
+                local_inc.append(np.empty(0, dtype=values.dtype))
+                outbox[j].append((0, Table(__j=[j], __e=[1], __fk=[0], __lk=[0],
+                                           __tail=[0.0], __single=[0])))
+                continue
+            k = sh.col("__k")
+            starts = segment_starts(k, len(sh))
+            inc = segmented_scan(sh.col("__v"), op, starts, exclusive=False)
+            local_inc.append(inc)
+            outbox[j].append(
+                (0, Table(
+                    __j=[j], __e=[0], __fk=[int(k[0])], __lk=[int(k[-1])],
+                    __tail=[float(inc[-1])],
+                    __single=[int(starts.sum() == 1)],
+                ))
+            )
+        inbox = self.fabric.exchange(outbox)
+        info = {}
+        for t in inbox[0]:
+            info[int(t.col("__j")[0])] = (
+                int(t.col("__e")[0]), int(t.col("__fk")[0]), int(t.col("__lk")[0]),
+                float(t.col("__tail")[0]), int(t.col("__single")[0]),
+            )
+        carries = {}
+        for j in range(m):
+            e, fk, lk, tail, single = info[j]
+            if e:
+                continue
+            carry = None
+            for i in range(j - 1, -1, -1):
+                ei, fki, lki, taili, singlei = info[i]
+                if ei:
+                    continue
+                if lki != fk:
+                    break
+                carry = taili if carry is None else op_combine(op, taili, carry)
+                if not singlei:
+                    break
+            if carry is not None:
+                carries[j] = carry
+        # send carries
+        outbox = [[] for _ in range(m)]
+        for j, c in carries.items():
+            outbox[0].append((j, Table(__c=[float(c)])))
+        inbox = self.fabric.exchange(outbox)
+        # apply carries; derive exclusive locally
+        out_parts: List[np.ndarray] = []
+        for j, sh in enumerate(shards):
+            inc = local_inc[j]
+            if len(sh) == 0:
+                out_parts.append(inc)
+                continue
+            k = sh.col("__k")
+            starts = segment_starts(k, len(sh))
+            if inbox[j]:
+                c = inbox[j][0].col("__c")[0]
+                if values.dtype.kind != "f":
+                    c = int(c)
+                first_run = np.cumsum(starts) == 1  # rows of the leading segment
+                upd = np.array(
+                    [op_combine(op, c, v) for v in inc[first_run]],
+                    dtype=inc.dtype,
+                ) if first_run.any() else inc[:0]
+                inc = inc.copy()
+                inc[first_run] = upd
+            else:
+                c = None
+            if exclusive:
+                exc = np.empty_like(inc, dtype=np.float64 if isinstance(ident, float) else inc.dtype)
+                exc[1:] = inc[:-1]
+                exc[starts] = ident
+                if c is not None:
+                    exc[0] = c
+                out_parts.append(exc)
+            else:
+                out_parts.append(inc)
+        return np.concatenate(out_parts)
+
+    def scan(
+        self,
+        table: Table,
+        value_col: str,
+        op: str,
+        by: Sequence[str] = (),
+        exclusive: bool = False,
+        identity=None,
+    ) -> np.ndarray:
+        self._check_op(op)
+        keys = pack_columns(table, by) if by else None
+        self.tracker.charge("scan", table.words)
+        return self._scan_impl(keys, table.col(value_col), op, exclusive)
+
+    # ------------------------------------------------------------------ joins
+
+    def _copy_down(self, shards: List[Table], cols: Sequence[str]) -> List[Table]:
+        """Distributed forward-fill of ``cols`` where __val marks valid rows."""
+        m = self.m
+        filled: List[Table] = []
+        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
+        for j, sh in enumerate(shards):
+            if len(sh) == 0:
+                filled.append(sh)
+                outbox[j].append((0, Table(__j=[j], __has=[0])))
+                continue
+            valid = sh.col("__val").astype(bool)
+            new_cols = {}
+            for c in cols:
+                fv, ok = forward_fill(sh.col(c), valid)
+                new_cols[c] = fv
+            _, ok = forward_fill(sh.col(cols[0]), valid)
+            filled.append(sh.with_cols(**new_cols, __val=ok.astype(np.int64)))
+            if valid.any():
+                last = int(np.flatnonzero(valid)[-1])
+                payload = {c: [sh.col(c)[last]] for c in cols}
+                outbox[j].append((0, Table(__j=[j], __has=[1], **payload)))
+            else:
+                outbox[j].append((0, Table(__j=[j], __has=[0])))
+        inbox = self.fabric.exchange(outbox)
+        info = {}
+        for t in inbox[0]:
+            j = int(t.col("__j")[0])
+            info[j] = t if int(t.col("__has")[0]) else None
+        # nearest preceding machine with a valid row
+        outbox = [[] for _ in range(m)]
+        latest = None
+        for j in range(m):
+            if latest is not None:
+                outbox[0].append((j, latest))
+            if info.get(j) is not None:
+                latest = info[j]
+        inbox = self.fabric.exchange(outbox)
+        out = []
+        for j, sh in enumerate(filled):
+            if len(sh) == 0 or not inbox[j]:
+                out.append(sh)
+                continue
+            carry = inbox[j][0]
+            valid = sh.col("__val").astype(bool)
+            lead = ~np.logical_or.accumulate(valid)  # prefix of still-invalid rows
+            if lead.any():
+                new_cols = {}
+                for c in cols:
+                    col = sh.col(c).copy()
+                    col[lead] = carry.col(c)[0]
+                    new_cols[c] = col
+                v = sh.col("__val").copy()
+                v[lead] = 1
+                sh = sh.with_cols(**new_cols, __val=v)
+            out.append(sh)
+        return out
+
+    def _merge_join(
+        self,
+        queries: Table,
+        qk: np.ndarray,
+        data: Table,
+        dk: np.ndarray,
+        payload: Mapping[str, str],
+        default: Mapping[str, float] | None,
+        exact: bool,
+    ) -> Table:
+        nq, nd = len(queries), len(data)
+        if nq == 0:
+            out = {o: _default_fill(0, data.col(s), 0) for o, s in payload.items()}
+            return queries.with_cols(**out)
+        pay_cols = list(payload.values())
+        combo_cols = {
+            "__jk": np.concatenate([dk, qk]),
+            "__t": np.concatenate(
+                [np.zeros(nd, dtype=np.int64), np.ones(nq, dtype=np.int64)]
+            ),
+            "__q": np.concatenate(
+                [np.zeros(nd, dtype=np.int64), np.arange(nq, dtype=np.int64)]
+            ),
+            "__val": np.concatenate(
+                [np.ones(nd, dtype=np.int64), np.zeros(nq, dtype=np.int64)]
+            ),
+        }
+        fill_cols = ["__dk"]
+        combo_cols["__dk"] = np.concatenate([dk, np.zeros(nq, dtype=np.int64)])
+        for i, src in enumerate(pay_cols):
+            arr = data.col(src)
+            name = f"__p{i}"
+            fill_cols.append(name)
+            combo_cols[name] = np.concatenate(
+                [arr, np.zeros(nq, dtype=arr.dtype)]
+            )
+        combo = Table(combo_cols)
+        skey = pack_columns(combo, ("__jk", "__t", "__q"))
+        scombo = self._sort_impl(combo, skey)
+        shards, _ = self._scatter(scombo)
+        shards = self._copy_down(shards, fill_cols)
+        merged = self._gather(shards)
+        is_q = merged.col("__t") == 1
+        qrows = merged.mask(is_q)
+        hit = qrows.col("__val").astype(bool)
+        if exact:
+            hit = hit & (qrows.col("__dk") == qrows.col("__jk"))
+        if default is None and not hit.all():
+            raise ProtocolError("lookup misses with no default")
+        # route answers back to query order (1 round via rebalance by __q)
+        ans_cols = {"__q": qrows.col("__q"), "__hit": hit.astype(np.int64)}
+        for i in range(len(pay_cols)):
+            ans_cols[f"__p{i}"] = qrows.col(f"__p{i}")
+        ans = Table(ans_cols)
+        ans = self._sort_impl(ans, ans.col("__q"))
+        out_cols = {}
+        hit = ans.col("__hit").astype(bool)
+        for i, (out_name, src_name) in enumerate(payload.items()):
+            src = data.col(src_name)
+            got = ans.col(f"__p{i}")
+            if hit.all():
+                out_cols[out_name] = got.astype(src.dtype, copy=False)
+            else:
+                col = _default_fill(nq, src, default[out_name])
+                col[hit] = got[hit].astype(col.dtype, copy=False)
+                out_cols[out_name] = col
+        return queries.with_cols(**out_cols)
+
+    def lookup(
+        self,
+        queries: Table,
+        qkey: Sequence[str],
+        data: Table,
+        dkey: Sequence[str],
+        payload: Mapping[str, str],
+        default: Mapping[str, float] | None = None,
+        check_unique: bool = True,
+    ) -> Table:
+        qk, dk = pack_pair(queries, qkey, data, dkey)
+        if check_unique and len(dk) > 1:
+            sdk = np.sort(dk)
+            if np.any(sdk[1:] == sdk[:-1]):
+                raise ProtocolError("lookup data has duplicate keys")
+        self.tracker.charge("lookup", queries.words + data.words)
+        return self._merge_join(queries, qk, data, dk, payload, default, exact=True)
+
+    def predecessor(
+        self,
+        queries: Table,
+        qkey: str,
+        data: Table,
+        dkey: str,
+        payload: Mapping[str, str],
+        default: Mapping[str, float],
+    ) -> Table:
+        qk = queries.col(qkey)
+        dk = data.col(dkey)
+        if qk.dtype.kind != "i" or dk.dtype.kind != "i":
+            raise ValidationError("predecessor keys must be integer columns")
+        self.tracker.charge("predecessor", queries.words + data.words)
+        return self._merge_join(queries, qk, data, dk, payload, default, exact=False)
+
+    # ------------------------------------------------------------------ reduce
+
+    def reduce_by_key(
+        self,
+        table: Table,
+        by: Sequence[str],
+        aggs: Mapping[str, Tuple[str, str]],
+    ) -> Table:
+        for _, (_, op) in aggs.items():
+            self._check_op(op)
+        key = pack_columns(table, by)
+        self.tracker.charge("reduce", table.words)
+        n = len(table)
+        if n == 0:
+            out = {c: table.col(c)[:0] for c in by}
+            for out_name, (src_name, _) in aggs.items():
+                out[out_name] = table.col(src_name)[:0]
+            return Table(out)
+        need = list(dict.fromkeys(list(by) + [s for s, _ in aggs.values()]))
+        aug = table.select(need).with_cols(__rk=key)
+        saug = self._sort_impl(aug, key)
+        sk = saug.col("__rk")
+        results = {}
+        for out_name, (src_name, op) in aggs.items():
+            results[out_name] = self._scan_impl(sk, saug.col(src_name), op, False)
+        # boundary exchange: last row of each key group holds the aggregate
+        shards, cap = self._scatter(saug)
+        m = self.m
+        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
+        for j, sh in enumerate(shards):
+            if len(sh) and j > 0:
+                outbox[j].append((j - 1, Table(__nk=[int(sh.col("__rk")[0])])))
+        inbox = self.fabric.exchange(outbox)
+        keep = np.zeros(n, dtype=bool)
+        offset = 0
+        for j, sh in enumerate(shards):
+            ln = len(sh)
+            if ln == 0:
+                continue
+            k = sh.col("__rk")
+            last = np.zeros(ln, dtype=bool)
+            last[:-1] = k[:-1] != k[1:]
+            nxt = None
+            for t in inbox[j]:
+                nxt = int(t.col("__nk")[0])
+            last[-1] = nxt is None or nxt != int(k[-1])
+            keep[offset: offset + ln] = last
+            offset += ln
+        out = {c: saug.col(c)[keep] for c in by}
+        for out_name in aggs:
+            out[out_name] = results[out_name][keep]
+        # charge a physical compaction round
+        self.fabric.exchange([[] for _ in range(m)])
+        return Table(out)
+
+    # ------------------------------------------------------------------ misc
+
+    def filter(self, table: Table, mask: np.ndarray) -> Table:
+        self.tracker.charge("filter", table.words)
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != len(table):
+            raise ValidationError("mask length mismatch")
+        if len(table) == 0:
+            return table
+        shards, cap = self._scatter(table.with_cols(__m=mask.astype(np.int64)))
+        shards = [sh.mask(sh.col("__m").astype(bool)).drop("__m") for sh in shards]
+        shards = self._rebalance(shards, cap)
+        return self._gather(shards)
+
+    def scalar(self, table: Table, value_col: str, op: str):
+        self._check_op(op)
+        vals = table.col(value_col)
+        self.tracker.charge("scalar", table.words)
+        if len(vals) == 0:
+            return op_identity(op, vals.dtype)
+        shards, _ = self._scatter(Table(__v=vals))
+        m = self.m
+        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
+        for j, sh in enumerate(shards):
+            if len(sh) == 0:
+                continue
+            v = sh.col("__v")
+            part = v.sum() if op == "sum" else (v.max() if op == "max" else v.min())
+            outbox[j].append((0, Table(__v=[part])))
+        inbox = self.fabric.exchange(outbox)
+        parts = np.array([t.col("__v")[0] for t in inbox[0]])
+        total = parts.sum() if op == "sum" else (parts.max() if op == "max" else parts.min())
+        # broadcast round (physical, result conceptually known everywhere)
+        self.fabric.exchange([[] for _ in range(m)])
+        if vals.dtype.kind != "f":
+            return int(total)
+        return float(total)

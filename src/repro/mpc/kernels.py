@@ -1,0 +1,122 @@
+"""Shared NumPy kernels used by both runtime engines.
+
+The local engine applies these to whole columns; the distributed engine
+applies them shard-locally inside its message-level protocols. Keeping
+one implementation guarantees the engines agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "segment_starts",
+    "segmented_scan",
+    "forward_fill",
+    "op_identity",
+    "op_combine",
+]
+
+
+def op_identity(op: str, dtype: np.dtype):
+    """Identity element of ``op`` for values of ``dtype``."""
+    kind = np.dtype(dtype).kind
+    if op == "sum":
+        return 0.0 if kind == "f" else 0
+    if op == "max":
+        return -np.inf if kind == "f" else np.iinfo(np.int64).min
+    if op == "min":
+        return np.inf if kind == "f" else np.iinfo(np.int64).max
+    raise ProtocolError(f"unsupported op {op!r}")
+
+
+def op_combine(op: str, a, b):
+    """Scalar combine for carry propagation."""
+    if op == "sum":
+        return a + b
+    if op == "max":
+        return a if a >= b else b
+    if op == "min":
+        return a if a <= b else b
+    raise ProtocolError(f"unsupported op {op!r}")
+
+
+def segment_starts(keys: np.ndarray | None, n: int) -> np.ndarray:
+    """Boolean mask of segment-start positions for contiguous equal keys."""
+    starts = np.zeros(n, dtype=bool)
+    if n == 0:
+        return starts
+    starts[0] = True
+    if keys is not None:
+        starts[1:] = keys[1:] != keys[:-1]
+    return starts
+
+
+def _seg_ids(starts: np.ndarray) -> np.ndarray:
+    return np.cumsum(starts) - 1
+
+
+def segmented_scan(
+    values: np.ndarray,
+    op: str,
+    starts: np.ndarray,
+    exclusive: bool = False,
+) -> np.ndarray:
+    """Prefix aggregation within contiguous segments.
+
+    ``starts`` marks the first row of each segment. Sum uses an exact
+    cumulative-sum-with-offset; max/min use O(log n) doubling passes
+    (the same structure an MPC scan would use).
+    """
+    n = len(values)
+    if n == 0:
+        return values.copy()
+    if op == "sum":
+        c = np.cumsum(values)
+        start_idx = np.flatnonzero(starts)
+        base = np.where(start_idx > 0, c[start_idx - 1] if n > 1 else 0, 0)
+        if len(start_idx):
+            base = np.where(start_idx > 0, c[np.maximum(start_idx - 1, 0)], 0)
+        inc = c - base[_seg_ids(starts)]
+    elif op in ("max", "min"):
+        seg = _seg_ids(starts)
+        inc = values.astype(np.float64 if values.dtype.kind == "f" else np.int64).copy()
+        func = np.maximum if op == "max" else np.minimum
+        k = 1
+        while k < n:
+            same = seg[k:] == seg[:-k]
+            upd = func(inc[k:], inc[:-k])
+            inc[k:] = np.where(same, upd, inc[k:])
+            k <<= 1
+    else:
+        raise ProtocolError(f"unsupported scan op {op!r}")
+    if not exclusive:
+        return inc
+    ident = op_identity(op, inc.dtype)
+    out = np.empty_like(inc, dtype=np.float64 if isinstance(ident, float) else inc.dtype)
+    out[1:] = inc[:-1]
+    out[starts] = ident
+    return out
+
+
+def forward_fill(
+    values: np.ndarray, valid: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Replace each entry by the latest preceding valid entry.
+
+    Returns ``(filled_values, filled_valid)``; positions before the first
+    valid entry keep their original value with ``filled_valid`` False.
+    """
+    n = len(values)
+    if n == 0:
+        return values.copy(), valid.copy()
+    idx = np.where(valid, np.arange(n), -1)
+    idx = np.maximum.accumulate(idx)
+    ok = idx >= 0
+    out = values.copy()
+    out[ok] = values[np.maximum(idx[ok], 0)]
+    return out, ok

@@ -1,0 +1,184 @@
+"""Vectorised MPC engine with model-cost accounting.
+
+Executes every runtime primitive as whole-column NumPy operations while
+charging exactly the rounds the distributed realisation would. This is
+the engine used for experiments at scale; the message-level engine
+(:mod:`.distributed`) validates it on smaller inputs (tests assert both
+produce identical outputs and identical charged rounds).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ProtocolError, ValidationError
+from .kernels import forward_fill, op_identity, segment_starts, segmented_scan
+from .runtime import Runtime, pack_columns, pack_pair
+from .table import Table
+
+__all__ = ["LocalRuntime"]
+
+
+def _default_fill(n: int, src: np.ndarray, default) -> np.ndarray:
+    """An output column prefilled with ``default``, dtype-widened if needed."""
+    if src.dtype.kind == "f" or (
+        isinstance(default, float) and not float(default).is_integer()
+    ) or default in (float("inf"), float("-inf")):
+        return np.full(n, float(default), dtype=np.float64)
+    return np.full(n, int(default), dtype=src.dtype)
+
+
+class LocalRuntime(Runtime):
+    """Single-process engine: NumPy semantics + MPC cost model."""
+
+    # -- primitives ---------------------------------------------------------------
+
+    def sort(self, table: Table, by: Sequence[str]) -> Table:
+        key = pack_columns(table, by)
+        self.tracker.charge("sort", table.words)
+        order = np.argsort(key, kind="stable")
+        return table.take(order)
+
+    def scan(
+        self,
+        table: Table,
+        value_col: str,
+        op: str,
+        by: Sequence[str] = (),
+        exclusive: bool = False,
+        identity=None,
+    ) -> np.ndarray:
+        self._check_op(op)
+        vals = table.col(value_col)
+        keys = pack_columns(table, by) if by else None
+        self.tracker.charge("scan", table.words)
+        starts = segment_starts(keys, len(vals))
+        return segmented_scan(vals, op, starts, exclusive=exclusive)
+
+    def lookup(
+        self,
+        queries: Table,
+        qkey: Sequence[str],
+        data: Table,
+        dkey: Sequence[str],
+        payload: Mapping[str, str],
+        default: Mapping[str, float] | None = None,
+        check_unique: bool = True,
+    ) -> Table:
+        qk, dk = pack_pair(queries, qkey, data, dkey)
+        self.tracker.charge("lookup", queries.words + data.words)
+        order = np.argsort(dk, kind="stable")
+        dks = dk[order]
+        if check_unique and len(dks) > 1 and np.any(dks[1:] == dks[:-1]):
+            dup = dks[1:][dks[1:] == dks[:-1]][0]
+            raise ProtocolError(f"lookup data has duplicate key {int(dup)}")
+        nq = len(qk)
+        if len(dks) == 0:
+            hit = np.zeros(nq, dtype=bool)
+            pos = np.zeros(nq, dtype=np.int64)
+        else:
+            pos = np.searchsorted(dks, qk, side="left")
+            inside = pos < len(dks)
+            pos_c = np.minimum(pos, len(dks) - 1)
+            hit = inside & (dks[pos_c] == qk)
+            pos = pos_c
+        if default is None and not hit.all():
+            missing = qk[~hit][:3].tolist()
+            raise ProtocolError(f"lookup misses with no default (keys {missing})")
+        out_cols = {}
+        for out_name, src_name in payload.items():
+            src = data.col(src_name)[order]
+            if hit.all():
+                out_cols[out_name] = src[pos] if len(src) else np.empty(0, src.dtype)
+            else:
+                col = _default_fill(nq, src, default[out_name])
+                if len(src):
+                    col[hit] = src[pos[hit]].astype(col.dtype, copy=False)
+                out_cols[out_name] = col
+        return queries.with_cols(**out_cols)
+
+    def predecessor(
+        self,
+        queries: Table,
+        qkey: str,
+        data: Table,
+        dkey: str,
+        payload: Mapping[str, str],
+        default: Mapping[str, float],
+    ) -> Table:
+        qk = queries.col(qkey)
+        dk = data.col(dkey)
+        if qk.dtype.kind != "i" or dk.dtype.kind != "i":
+            raise ValidationError("predecessor keys must be integer columns")
+        self.tracker.charge("predecessor", queries.words + data.words)
+        order = np.argsort(dk, kind="stable")
+        dks = dk[order]
+        nq = len(qk)
+        if len(dks) == 0:
+            hit = np.zeros(nq, dtype=bool)
+            pos = np.zeros(nq, dtype=np.int64)
+        else:
+            pos = np.searchsorted(dks, qk, side="right") - 1
+            hit = pos >= 0
+            pos = np.maximum(pos, 0)
+        out_cols = {}
+        for out_name, src_name in payload.items():
+            src = data.col(src_name)[order]
+            col = _default_fill(nq, src, default[out_name])
+            if len(src):
+                col[hit] = src[pos[hit]].astype(col.dtype, copy=False)
+            out_cols[out_name] = col
+        return queries.with_cols(**out_cols)
+
+    def reduce_by_key(
+        self,
+        table: Table,
+        by: Sequence[str],
+        aggs: Mapping[str, Tuple[str, str]],
+    ) -> Table:
+        for _, (_, op) in aggs.items():
+            self._check_op(op)
+        key = pack_columns(table, by)
+        self.tracker.charge("reduce", table.words)
+        order = np.argsort(key, kind="stable")
+        sorted_tab = table.take(order)
+        ks = key[order]
+        n = len(ks)
+        starts = segment_starts(ks, n)
+        start_idx = np.flatnonzero(starts)
+        out = {c: sorted_tab.col(c)[start_idx] for c in by}
+        for out_name, (src_name, op) in aggs.items():
+            vals = sorted_tab.col(src_name)
+            if n == 0:
+                out[out_name] = vals[:0]
+                continue
+            ufunc = {"sum": np.add, "max": np.maximum, "min": np.minimum}[op]
+            out[out_name] = ufunc.reduceat(vals, start_idx)
+        return Table(out)
+
+    def filter(self, table: Table, mask: np.ndarray) -> Table:
+        self.tracker.charge("filter", table.words)
+        return table.mask(mask)
+
+    def scalar(self, table: Table, value_col: str, op: str):
+        self._check_op(op)
+        vals = table.col(value_col)
+        self.tracker.charge("scalar", table.words)
+        if len(vals) == 0:
+            ident = op_identity(op, vals.dtype)
+            return ident
+        if op == "sum":
+            total = vals.sum()
+        elif op == "max":
+            total = vals.max()
+        else:
+            total = vals.min()
+        return total.item()
+
+    # -- internal (engine-private, used by tests) ----------------------------------
+
+    @staticmethod
+    def _forward_fill(values: np.ndarray, valid: np.ndarray):
+        return forward_fill(values, valid)

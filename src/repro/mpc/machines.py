@@ -1,0 +1,69 @@
+"""Message-level fabric of simulated MPC machines.
+
+A :class:`Fabric` owns ``m`` machines with ``s`` words of local memory
+each and executes synchronous message-exchange rounds. Each round, every
+machine may address arbitrary peers, but its total sent words and total
+received words must both fit in ``s`` — exactly the constraint of the
+MPC model (§1 of the paper). Violations raise
+:class:`~repro.errors.CapacityError` rather than silently succeeding, so
+algorithm bugs that would break the model are surfaced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import CapacityError, ValidationError
+from .cost import CostTracker
+from .table import Table
+
+__all__ = ["Fabric"]
+
+Packet = Tuple[int, Table]
+
+
+class Fabric:
+    """Synchronous message fabric with per-round, per-machine word caps."""
+
+    def __init__(self, n_machines: int, capacity_words: int, tracker: CostTracker):
+        if n_machines < 1:
+            raise ValidationError("need at least one machine")
+        self.m = int(n_machines)
+        self.s = int(capacity_words)
+        self.tracker = tracker
+        self.rounds_executed = 0
+        self.words_moved = 0
+
+    def exchange(self, outboxes: Sequence[List[Packet]]) -> List[List[Table]]:
+        """Run one synchronous round.
+
+        ``outboxes[j]`` is machine ``j``'s list of ``(destination, table)``
+        packets. Returns ``inboxes`` where ``inboxes[j]`` lists the tables
+        received by machine ``j``, ordered by sender id then send order
+        (deterministic delivery).
+        """
+        if len(outboxes) != self.m:
+            raise ValidationError(
+                f"outboxes for {len(outboxes)} machines, fabric has {self.m}"
+            )
+        inboxes: List[List[Table]] = [[] for _ in range(self.m)]
+        recv_words = [0] * self.m
+        for src, packets in enumerate(outboxes):
+            sent = 0
+            for dst, tab in packets:
+                if not (0 <= dst < self.m):
+                    raise ValidationError(f"machine {src} addressed bad peer {dst}")
+                w = tab.words
+                sent += w
+                recv_words[dst] += w
+                inboxes[dst].append(tab)
+            if sent > self.s:
+                raise CapacityError(src, sent, self.s, what="send")
+            self.words_moved += sent
+        for j, w in enumerate(recv_words):
+            if w > self.s:
+                raise CapacityError(j, w, self.s, what="receive")
+            self.tracker.observe_machine_words(w)
+        self.rounds_executed += 1
+        self.tracker.charge_transport_round()
+        return inboxes

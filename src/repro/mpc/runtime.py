@@ -1,0 +1,359 @@
+"""The MPC dataflow runtime API shared by both engines.
+
+Algorithms in :mod:`repro.trees` and :mod:`repro.core` are written against
+this interface only; they never touch machines directly. The primitives
+correspond to the classical O(1)-round MPC building blocks [GSZ11]:
+
+- :meth:`Runtime.sort` — global sort of a record table by integer keys;
+- :meth:`Runtime.scan` — (segmented) prefix aggregation in current order;
+- :meth:`Runtime.lookup` — equi-join against a unique-key table
+  ("bring the value to the record");
+- :meth:`Runtime.predecessor` — merge-rank join: for each query key the
+  payload of the last data row with key <= query (powers interval
+  stabbing / "which cluster contains this vertex" searches);
+- :meth:`Runtime.reduce_by_key` — grouped min/max/sum;
+- :meth:`Runtime.filter` — compaction of a filtered table;
+- :meth:`Runtime.scalar` — global aggregate broadcast to every machine.
+
+Row-aligned NumPy arithmetic on columns is free (it models local
+computation on records already resident on a machine within a round).
+
+Keys are int64 columns; composite keys are packed into a single 63-bit
+word via :func:`pack_columns` (with overflow checking) so that both the
+vectorised and the message-level engine compare them identically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import KeyPackingError, ProtocolError, ValidationError
+from .config import MPCConfig
+from .cost import CostModel, CostReport, CostTracker
+from .table import Table
+
+__all__ = [
+    "Runtime",
+    "pack_columns",
+    "float_sort_key",
+    "AGG_OPS",
+    "NEG_INF",
+    "POS_INF",
+]
+
+#: Sentinels used for "no value" in weight columns. Weights in instances are
+#: finite; +/-inf survive max/min reductions as identities.
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+#: Supported aggregation operators for scans and reductions.
+AGG_OPS = ("sum", "max", "min")
+
+
+def pack_columns(table: Table, cols: Sequence[str]) -> np.ndarray:
+    """Pack integer key columns into one int64 preserving lexicographic order.
+
+    Each column is shifted to be non-negative and assigned a stride equal
+    to the product of later columns' ranges. Raises
+    :class:`~repro.errors.KeyPackingError` if 63 bits do not suffice.
+    """
+    cols = list(cols)
+    if not cols:
+        raise ValidationError("pack_columns needs at least one key column")
+    if len(cols) == 1:
+        arr = table.col(cols[0])
+        if arr.dtype.kind != "i":
+            raise KeyPackingError(f"key column {cols[0]!r} must be integer")
+        return arr
+    arrays = []
+    ranges = []
+    for c in cols:
+        arr = table.col(c)
+        if arr.dtype.kind != "i":
+            raise KeyPackingError(f"key column {c!r} must be integer")
+        if len(arr) == 0:
+            return np.empty(0, dtype=np.int64)
+        lo = int(arr.min())
+        hi = int(arr.max())
+        arrays.append(arr - lo)
+        ranges.append(hi - lo + 1)
+    packed = np.zeros(len(arrays[0]), dtype=np.int64)
+    limit = 1 << 62
+    stride = 1
+    for arr, rng in zip(reversed(arrays), reversed(ranges)):
+        packed = packed + arr * stride
+        stride *= rng
+        if stride > limit:
+            raise KeyPackingError(
+                f"composite key {cols} exceeds 62 bits (stride {stride})"
+            )
+    return packed
+
+
+def pack_pair(
+    left: Table, lcols: Sequence[str], right: Table, rcols: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack composite keys of two tables with *shared* bounds.
+
+    Keys joined across tables must be packed with identical offsets and
+    strides, otherwise equal tuples pack to different words. Returns the
+    packed key arrays ``(left_keys, right_keys)``.
+    """
+    lcols, rcols = list(lcols), list(rcols)
+    if len(lcols) != len(rcols):
+        raise ValidationError("join key arity mismatch")
+    if len(lcols) == 1:
+        lk = left.col(lcols[0])
+        rk = right.col(rcols[0])
+        if lk.dtype.kind != "i" or rk.dtype.kind != "i":
+            raise KeyPackingError("join keys must be integer columns")
+        return lk, rk
+    nl, nr = len(left), len(right)
+    combined = Table(
+        {
+            f"k{i}": np.concatenate([left.col(lc), right.col(rc)])
+            for i, (lc, rc) in enumerate(zip(lcols, rcols))
+        }
+    )
+    packed = pack_columns(combined, [f"k{i}" for i in range(len(lcols))])
+    return packed[:nl], packed[nl:]
+
+
+def float_sort_key(values: np.ndarray) -> np.ndarray:
+    """Map float64 values to int64 keys with the same total order.
+
+    Standard IEEE-754 trick: reinterpret bits, then flip negative values'
+    magnitude bits (and the sign bit of non-negatives).
+    """
+    v = np.ascontiguousarray(values, dtype=np.float64)
+    bits = v.view(np.int64)
+    return np.where(bits < 0, np.int64(-0x8000000000000000) - bits - 1, bits)
+
+
+class Runtime(ABC):
+    """Abstract MPC engine; see module docstring for the primitive set."""
+
+    def __init__(self, config: MPCConfig | None = None):
+        self.config = config or MPCConfig()
+        self.tracker = CostTracker(CostModel(mode=self.config.cost_mode,
+                                             delta=self.config.delta))
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        """Attribute all rounds charged inside the block to ``name``."""
+        self.tracker.push_phase(name)
+        try:
+            yield self
+        finally:
+            self.tracker.pop_phase(name)
+
+    def report(self) -> CostReport:
+        return self.tracker.report()
+
+    @property
+    def rounds(self) -> int:
+        return self.tracker.rounds_total
+
+    def retain(self, key: str, table_or_words) -> None:
+        words = table_or_words.words if isinstance(table_or_words, Table) else int(table_or_words)
+        self.tracker.retain(key, words)
+
+    def release(self, key: str) -> None:
+        self.tracker.release(key)
+
+    # -- primitives ---------------------------------------------------------------
+
+    @abstractmethod
+    def sort(self, table: Table, by: Sequence[str]) -> Table:
+        """Globally sort ``table`` by the integer key columns ``by``.
+
+        Stable with respect to the current row order. Costs one ``sort``.
+        """
+
+    @abstractmethod
+    def scan(
+        self,
+        table: Table,
+        value_col: str,
+        op: str,
+        by: Sequence[str] = (),
+        exclusive: bool = False,
+        identity: float | int | None = None,
+    ) -> np.ndarray:
+        """Prefix aggregation of ``value_col`` in current row order.
+
+        With ``by`` non-empty, rows form contiguous segments of equal key
+        (caller must have sorted/grouped accordingly) and the scan resets
+        at segment boundaries. ``exclusive`` yields the aggregate of
+        strictly preceding rows (``identity`` at segment starts).
+        Costs one ``scan``.
+        """
+
+    @abstractmethod
+    def lookup(
+        self,
+        queries: Table,
+        qkey: Sequence[str],
+        data: Table,
+        dkey: Sequence[str],
+        payload: Mapping[str, str],
+        default: Mapping[str, float | int] | None = None,
+        check_unique: bool = True,
+    ) -> Table:
+        """Equi-join: attach ``payload`` columns of ``data`` to ``queries``.
+
+        ``payload`` maps output column name -> data column name. ``data``
+        keys must be unique (validated when ``check_unique``). Missing keys
+        produce ``default[out_col]`` (required if misses can occur). The
+        result is ``queries`` extended with the payload columns, original
+        order preserved. Costs one ``lookup``.
+        """
+
+    @abstractmethod
+    def predecessor(
+        self,
+        queries: Table,
+        qkey: str,
+        data: Table,
+        dkey: str,
+        payload: Mapping[str, str],
+        default: Mapping[str, float | int],
+    ) -> Table:
+        """Merge-rank join: payload of the *last* data row with key <= query.
+
+        ``data`` is sorted internally by ``dkey`` (stably), so among equal
+        data keys the one latest in input order wins. Costs one
+        ``predecessor``.
+        """
+
+    @abstractmethod
+    def reduce_by_key(
+        self,
+        table: Table,
+        by: Sequence[str],
+        aggs: Mapping[str, Tuple[str, str]],
+    ) -> Table:
+        """Group rows by ``by`` and aggregate.
+
+        ``aggs`` maps output column -> (input column, op in AGG_OPS). The
+        result has one row per distinct key, sorted by key, with the key
+        columns and the aggregate columns. Costs one ``reduce``.
+        """
+
+    @abstractmethod
+    def filter(self, table: Table, mask: np.ndarray) -> Table:
+        """Compact the rows where ``mask`` holds. Costs one ``filter``."""
+
+    @abstractmethod
+    def scalar(self, table: Table, value_col: str, op: str) -> float | int:
+        """Global aggregate of a column, made known to all machines.
+
+        Returns the Python scalar; identity (0 / -inf / +inf) on an empty
+        table. Costs one ``scalar``.
+        """
+
+    # -- conveniences built on primitives -------------------------------------------
+
+    def count(self, table: Table) -> int:
+        """Number of rows, as a broadcast global aggregate (one ``scalar``)."""
+        ones = Table(one=np.ones(len(table), dtype=np.int64))
+        return int(self.scalar(ones, "one", "sum"))
+
+    def unique_keys(self, table: Table, by: Sequence[str]) -> Table:
+        """Distinct key combinations, sorted (one ``reduce``)."""
+        marker = table.select(by).with_cols(__m=np.ones(len(table), dtype=np.int64))
+        out = self.reduce_by_key(marker, by, {"__m": ("__m", "sum")})
+        return out.drop("__m")
+
+    def expand_join(
+        self,
+        queries: Table,
+        qkey: Sequence[str],
+        data: Table,
+        dkey: Sequence[str],
+        payload: Mapping[str, str],
+        carry: Sequence[str] = (),
+    ) -> Table:
+        """One-to-many join: one output row per (query row, matching data row).
+
+        Output columns: the query's ``carry`` columns plus the ``payload``
+        columns (mapping output name -> data column). Queries with no
+        match produce no rows. This is a *derived* operation composed of
+        O(1) primitives (sort + reduce + lookup + scan + filter +
+        predecessor + lookup), so it costs a constant number of rounds;
+        its output size is the number of matches (the caller is
+        responsible for that being within the memory budget, as the paper
+        is in Lemma 3.7).
+        """
+        carry = list(carry)
+        out_schema = {c: queries.col(c).dtype for c in carry}
+        for out_name, src in payload.items():
+            out_schema[out_name] = data.col(src).dtype
+        if len(queries) == 0 or len(data) == 0:
+            return Table.empty(out_schema)
+        qk, dk = pack_pair(queries, qkey, data, dkey)
+        dsort = self.sort(data.with_cols(__ek=dk), ("__ek",))
+        dsort = dsort.with_cols(__pos=np.arange(len(dsort), dtype=np.int64))
+        ones = np.ones(len(dsort), dtype=np.int64)
+        groups = self.reduce_by_key(
+            dsort.with_cols(__one=ones),
+            ("__ek",),
+            {"__start": ("__pos", "min"), "__cnt": ("__one", "sum")},
+        )
+        q2 = queries.select(carry).with_cols(__qk=qk)
+        q2 = self.lookup(
+            q2, ("__qk",), groups, ("__ek",),
+            {"__start": "__start", "__cnt": "__cnt"},
+            default={"__start": 0, "__cnt": 0},
+        )
+        off = self.scan(q2, "__cnt", "sum", exclusive=True)
+        q2 = q2.with_cols(__off=off)
+        total = int(self.scalar(q2.with_cols(__end=off + q2.col("__cnt")), "__end", "max"))
+        total = max(total, 0)
+        qnz = self.filter(q2, q2.col("__cnt") > 0)
+        if total == 0 or len(qnz) == 0:
+            return Table.empty(out_schema)
+        skel = Table(__o=np.arange(total, dtype=np.int64))
+        pred_payload = {"__off2": "__off", "__start2": "__start"}
+        pred_payload.update({f"__c_{c}": c for c in carry})
+        defaults = {"__off2": 0, "__start2": 0}
+        defaults.update({f"__c_{c}": 0 for c in carry})
+        skel = self.predecessor(skel, "__o", qnz, "__off", pred_payload, defaults)
+        dpos = skel.col("__start2") + (skel.col("__o") - skel.col("__off2"))
+        skel = skel.with_cols(__dpos=dpos)
+        fetched = self.lookup(
+            skel, ("__dpos",), dsort, ("__pos",), dict(payload), default=None
+        )
+        out_cols = {c: fetched.col(f"__c_{c}").astype(out_schema[c], copy=False)
+                    for c in carry}
+        for out_name in payload:
+            out_cols[out_name] = fetched.col(out_name)
+        return Table(out_cols)
+
+    # -- internal shared validation ---------------------------------------------
+
+    @staticmethod
+    def _check_op(op: str) -> None:
+        if op not in AGG_OPS:
+            raise ProtocolError(f"unsupported aggregation op {op!r}")
+
+    @staticmethod
+    def _identity(op: str, kind: str):
+        if op == "sum":
+            return 0
+        if op == "max":
+            return NEG_INF if kind == "f" else np.iinfo(np.int64).min
+        if op == "min":
+            return POS_INF if kind == "f" else np.iinfo(np.int64).max
+        raise ProtocolError(f"unsupported aggregation op {op!r}")

@@ -1,0 +1,168 @@
+"""Columnar record tables exchanged between MPC runtime primitives.
+
+A :class:`Table` is an immutable-ish, named collection of equal-length
+NumPy arrays. It is the unit of data the runtime primitives (sort,
+scan, lookup, reduce) operate on; one row models one ``O(1)``-word MPC
+record, one column one machine word per record.
+
+Algorithm code builds tables, applies *free* row-aligned NumPy math on
+their columns (local computation inside a round), and pays rounds only
+when calling runtime primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["Table"]
+
+_ALLOWED_KINDS = ("i", "u", "f", "b")
+
+
+def _as_column(name: str, values) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValidationError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind not in _ALLOWED_KINDS:
+        raise ValidationError(
+            f"column {name!r} has unsupported dtype {arr.dtype} "
+            f"(records hold integer/float/bool words)"
+        )
+    if arr.dtype.kind == "i" and arr.dtype != np.int64:
+        arr = arr.astype(np.int64)
+    if arr.dtype.kind == "u":
+        arr = arr.astype(np.int64)
+    if arr.dtype.kind == "f" and arr.dtype != np.float64:
+        arr = arr.astype(np.float64)
+    return arr
+
+
+class Table:
+    """A named bundle of equal-length columns (one MPC record per row)."""
+
+    __slots__ = ("_cols", "_n")
+
+    def __init__(self, cols: Mapping[str, np.ndarray] | None = None, **kw):
+        merged: Dict[str, np.ndarray] = {}
+        for src in (cols or {}), kw:
+            for name, values in src.items():
+                merged[name] = _as_column(name, values)
+        n = None
+        for name, arr in merged.items():
+            if n is None:
+                n = len(arr)
+            elif len(arr) != n:
+                raise ValidationError(
+                    f"column {name!r} has length {len(arr)}, expected {n}"
+                )
+        self._cols = merged
+        self._n = 0 if n is None else int(n)
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def empty(schema: Mapping[str, np.dtype | type]) -> "Table":
+        """An empty table with the given column schema."""
+        return Table({k: np.empty(0, dtype=np.dtype(v)) for k, v in schema.items()})
+
+    @staticmethod
+    def concat(tables: Sequence["Table"]) -> "Table":
+        """Row-wise concatenation; all tables must share a schema."""
+        tables = [t for t in tables]
+        if not tables:
+            raise ValidationError("Table.concat needs at least one table")
+        names = list(tables[0]._cols)
+        for t in tables[1:]:
+            if list(t._cols) != names:
+                raise ValidationError(
+                    f"schema mismatch in concat: {list(t._cols)} vs {names}"
+                )
+        return Table(
+            {k: np.concatenate([t._cols[k] for t in tables]) for k in names}
+        )
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cols
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._cols)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._cols[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{k}:{v.dtype.str[1:]}" for k, v in self._cols.items())
+        return f"Table[{self._n} rows]({cols})"
+
+    @property
+    def columns(self) -> tuple:
+        return tuple(self._cols)
+
+    @property
+    def words(self) -> int:
+        """Memory footprint in machine words (rows x columns)."""
+        return self._n * max(1, len(self._cols))
+
+    # -- row/column algebra (local, free operations) ---------------------------
+
+    def col(self, name: str) -> np.ndarray:
+        return self._cols[name]
+
+    def select(self, names: Iterable[str]) -> "Table":
+        names = list(names)
+        missing = [n for n in names if n not in self._cols]
+        if missing:
+            raise ValidationError(f"unknown columns {missing}")
+        return Table({n: self._cols[n] for n in names})
+
+    def drop(self, *names: str) -> "Table":
+        return Table({k: v for k, v in self._cols.items() if k not in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        return Table({mapping.get(k, k): v for k, v in self._cols.items()})
+
+    def with_cols(self, **new) -> "Table":
+        cols = dict(self._cols)
+        for name, values in new.items():
+            arr = _as_column(name, values)
+            if self._cols and len(arr) != self._n:
+                raise ValidationError(
+                    f"new column {name!r} has length {len(arr)}, expected {self._n}"
+                )
+            cols[name] = arr
+        return Table(cols)
+
+    def take(self, idx: np.ndarray) -> "Table":
+        return Table({k: v[idx] for k, v in self._cols.items()})
+
+    def mask(self, m: np.ndarray) -> "Table":
+        m = np.asarray(m, dtype=bool)
+        if len(m) != self._n:
+            raise ValidationError("mask length mismatch")
+        return Table({k: v[m] for k, v in self._cols.items()})
+
+    def head(self, k: int) -> "Table":
+        return Table({name: v[:k] for name, v in self._cols.items()})
+
+    # -- test/debug helpers ----------------------------------------------------
+
+    def to_records(self) -> list:
+        """Rows as a list of dicts (test helper; not for hot paths)."""
+        names = list(self._cols)
+        return [
+            {n: self._cols[n][i].item() for n in names} for i in range(self._n)
+        ]
+
+    def equals(self, other: "Table") -> bool:
+        if set(self._cols) != set(other._cols) or self._n != other._n:
+            return False
+        return all(np.array_equal(self._cols[k], other._cols[k]) for k in self._cols)

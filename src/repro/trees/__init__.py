@@ -1,0 +1,31 @@
+"""Distributed tree algorithm toolkit (substrate S4 in DESIGN.md)."""
+
+from .aggregation import subtree_extremum, subtree_sum
+from .connectivity import (
+    mpc_connected_components,
+    mpc_count_components,
+    mpc_is_spanning_tree,
+)
+from .doubling import (
+    ancestor_tables,
+    collect_root_paths,
+    diameter_estimate,
+    mpc_depths,
+)
+from .euler import euler_intervals, list_rank
+from .rooting import root_tree
+
+__all__ = [
+    "subtree_extremum",
+    "subtree_sum",
+    "mpc_connected_components",
+    "mpc_count_components",
+    "mpc_is_spanning_tree",
+    "ancestor_tables",
+    "collect_root_paths",
+    "diameter_estimate",
+    "mpc_depths",
+    "euler_intervals",
+    "list_rank",
+    "root_tree",
+]

@@ -1,0 +1,96 @@
+"""Subtree aggregation — the [GLM+23]-style utility substrate.
+
+The paper invokes "dynamic programming in trees" to aggregate labels
+over subtrees (e.g. Lemma 2.14's ``v_high``). Our pipelines obtain
+those specific quantities by other linear-memory means (Euler-tour
+counts, root-path emission), but the general utility is part of the
+toolkit a downstream user expects:
+
+* :func:`subtree_sum` — exact, O(1) rounds given DFS interval labels
+  (a subtree is a DFS range; sums are prefix-decomposable);
+* :func:`subtree_extremum` — min/max over every subtree via a
+  doubling sparse table over DFS order: ``O(log n)`` rounds and — the
+  documented trade-off versus [GLM+23] — ``O(n log n)`` words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+
+__all__ = ["subtree_sum", "subtree_extremum"]
+
+
+def subtree_sum(
+    rt: Runtime,
+    values: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+) -> np.ndarray:
+    """Sum of ``values`` over each vertex's subtree.
+
+    ``low``/``high`` are DFS interval labels (``low`` is a permutation);
+    costs a sort + scan + two lookups.
+    """
+    n = len(values)
+    by_dfs = rt.sort(
+        Table(d=low, v=np.asarray(values)), ("d",)
+    )
+    pref = rt.scan(by_dfs, "v", "sum")  # inclusive prefix sums in DFS order
+    pos = by_dfs.with_cols(p=pref)
+    hi_sum = rt.lookup(Table(d=high), ("d",), pos, ("d",), {"s": "p"})
+    lo_sum = rt.lookup(Table(d=low - 1), ("d",), pos, ("d",), {"s": "p"},
+                       default={"s": 0})
+    return hi_sum.col("s") - lo_sum.col("s")
+
+
+def subtree_extremum(
+    rt: Runtime,
+    values: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    op: str = "max",
+) -> np.ndarray:
+    """Min/max of ``values`` over each vertex's subtree.
+
+    Builds a doubling sparse table over DFS order (level k holds the
+    aggregate of ``[i, i + 2^k)``), then answers each subtree range with
+    the standard two-overlapping-blocks query. ``O(log n)`` rounds,
+    ``O(n log n)`` words (see module docstring for why the pipelines
+    themselves avoid this).
+    """
+    if op not in ("min", "max"):
+        raise ProtocolError(f"subtree_extremum supports min/max, got {op!r}")
+    n = len(values)
+    if n == 0:
+        return np.asarray(values, dtype=np.float64)
+    by_dfs = rt.sort(Table(d=low, v=np.asarray(values)), ("d",))
+    level = by_dfs.col("v").astype(np.float64)
+    ident = -np.inf if op == "max" else np.inf
+    combine = np.maximum if op == "max" else np.minimum
+    tables = [level]
+    k = 1
+    while k < n:
+        cur = tables[-1]
+        shifted = np.full(n, ident)
+        shifted[: n - k] = cur[k:]
+        # in MPC this shift is one route round; charge it
+        rt.tracker.charge("route", n)
+        tables.append(combine(cur, shifted))
+        k <<= 1
+        rt.tracker.observe_global_words(n * len(tables))
+
+    length = high - low + 1
+    lvl = np.zeros(n, dtype=np.int64)
+    nz = length > 1
+    lvl[nz] = np.floor(np.log2(length[nz])).astype(np.int64)
+    blk = (1 << lvl).astype(np.int64)
+    # two overlapping blocks: [low, low+2^k) and [high-2^k+1, ...]
+    stacked = np.stack(tables)  # conceptually distributed by (level, pos)
+    a = stacked[lvl, low]
+    b = stacked[lvl, high - blk + 1]
+    rt.tracker.charge("lookup", 2 * n)
+    return combine(a, b)

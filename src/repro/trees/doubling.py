@@ -1,0 +1,146 @@
+"""Pointer-doubling tree primitives: depths, ancestor tables, root paths.
+
+These are the `O(log D_T)`-round workhorses of the paper:
+
+* :func:`mpc_depths` — every vertex learns its depth in ``O(log D)``
+  rounds and ``O(n)`` words (used for Remark 2.3's diameter estimate);
+* :func:`ancestor_tables` — Lemma 2.16: edges from each vertex to its
+  ``2^i``-th ancestors, ``O(log D)`` rounds and ``O(n log D)`` words
+  (the paper applies it to the *cluster* tree where this is ``o(n)``);
+* :func:`collect_root_paths` — Lemma 3.7: each vertex materialises its
+  entire path to the root, ``O(log D)`` rounds and ``O(sum of depths)``
+  words (applied to the cluster tree: ``O(|C| * D_T) = O(n)``).
+
+All functions operate on a parent array over ids ``0..n-1`` (works for
+vertex trees and cluster trees alike) and count rounds through the
+runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+
+__all__ = [
+    "mpc_depths",
+    "diameter_estimate",
+    "ancestor_tables",
+    "collect_root_paths",
+]
+
+
+def mpc_depths(rt: Runtime, parent: np.ndarray, root: int) -> np.ndarray:
+    """Depth of every vertex below ``root`` by pointer doubling.
+
+    Invariant after k iterations: ``anc[v] = p^(min(2^k, depth(v)))(v)``
+    and ``dist[v] = min(2^k, depth(v))``. Costs ``O(log D)`` rounds.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = len(parent)
+    ids = np.arange(n, dtype=np.int64)
+    anc = parent.copy()
+    dist = (ids != root).astype(np.int64)
+    while rt.scalar(Table(x=(anc != root).astype(np.int64)), "x", "max") > 0:
+        q = Table(v=ids, anc=anc)
+        got = rt.lookup(
+            q, ("anc",), Table(v=ids, a2=anc, d2=dist), ("v",),
+            {"a2": "a2", "d2": "d2"},
+        )
+        step = np.where(anc != root, got.col("d2"), 0)
+        dist = dist + step
+        anc = got.col("a2")
+    return dist
+
+
+def diameter_estimate(rt: Runtime, parent: np.ndarray, root: int) -> Tuple[int, np.ndarray]:
+    """Remark 2.3: a value ``D_hat`` with ``D_T <= D_hat <= 2*D_T``.
+
+    The eccentricity ``h`` of the root satisfies ``h <= D <= 2h``, so
+    ``D_hat = 2h`` is a 2-approximation (``D_hat=1`` for single vertices).
+    Returns ``(D_hat, depths)`` so callers can reuse the depths.
+    """
+    depths = mpc_depths(rt, parent, root)
+    h = int(rt.scalar(Table(d=depths), "d", "max"))
+    return max(1, 2 * h), depths
+
+
+def ancestor_tables(
+    rt: Runtime, parent: np.ndarray, root: int, max_dist: int
+) -> Table:
+    """Lemma 2.16: rows ``(v, i, anc)`` with ``anc = p^(2^i)(v)``.
+
+    Powers run while ``2^i <= max_dist``; climbs truncate at the root.
+    ``O(log max_dist)`` rounds, ``O(n log max_dist)`` words.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = len(parent)
+    ids = np.arange(n, dtype=np.int64)
+    levels = [Table(v=ids, i=np.zeros(n, dtype=np.int64), anc=parent)]
+    cur = parent
+    i = 0
+    while (1 << (i + 1)) <= max(1, max_dist):
+        got = rt.lookup(
+            Table(v=ids, anc=cur), ("anc",),
+            Table(v=ids, a2=cur), ("v",), {"a2": "a2"},
+        )
+        cur = got.col("a2")
+        i += 1
+        levels.append(Table(v=ids, i=np.full(n, i, dtype=np.int64), anc=cur))
+    out = Table.concat(levels)
+    rt.tracker.observe_global_words(out.words)
+    return out
+
+
+def collect_root_paths(
+    rt: Runtime, parent: np.ndarray, root: int
+) -> Table:
+    """Lemma 3.7: rows ``(v, anc, d)`` for every ancestor of every vertex.
+
+    ``d`` is the distance from ``v`` up to ``anc``; the row ``(v, v, 0)``
+    is included. ``O(log D)`` rounds; output (and hence charged memory)
+    is ``n + sum_v depth(v)`` rows — the caller is responsible for the
+    global-memory budget, exactly as in the paper (which only ever calls
+    this on the contracted cluster tree).
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = len(parent)
+    ids = np.arange(n, dtype=np.int64)
+    nonroot = ids != root
+    paths = Table.concat(
+        [
+            Table(v=ids, anc=ids, d=np.zeros(n, dtype=np.int64)),
+            Table(v=ids[nonroot], anc=parent[nonroot],
+                  d=np.ones(int(nonroot.sum()), dtype=np.int64)),
+        ]
+    )
+    jump = parent.copy()
+    jdist = nonroot.astype(np.int64)
+    while rt.scalar(Table(x=(jump != root).astype(np.int64)), "x", "max") > 0:
+        # pull the jump target's collected path (distances >= 1) and shift
+        data = rt.filter(paths, paths.col("d") >= 1)
+        live = jump != root
+        queries = Table(v=ids[live], j=jump[live], L=jdist[live])
+        grown = rt.expand_join(
+            queries, ("j",), data, ("v",),
+            {"anc": "anc", "dd": "d"}, carry=("v", "L"),
+        )
+        new_rows = Table(
+            v=grown.col("v"),
+            anc=grown.col("anc"),
+            d=grown.col("L") + grown.col("dd"),
+        )
+        paths = Table.concat([paths, new_rows])
+        rt.tracker.observe_global_words(paths.words)
+        # advance the jump pointers
+        got = rt.lookup(
+            Table(v=ids, anc=jump), ("anc",),
+            Table(v=ids, a2=jump, d2=jdist), ("v",),
+            {"a2": "a2", "d2": "d2"},
+        )
+        jdist = jdist + np.where(jump != root, got.col("d2"), 0)
+        jump = got.col("a2")
+    return paths

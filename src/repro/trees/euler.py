@@ -1,0 +1,142 @@
+"""Euler tour, list ranking, and DFS interval labelling (Lemma 2.14).
+
+The paper obtains DFS interval labels in ``O(log D_T)`` rounds by
+invoking [ASZ19] + [GLM+23] as black boxes. We substitute the classical
+Euler-tour construction with pointer-doubling list ranking: identical
+labels, ``O(log n)`` rounds, ``O(n)`` words (DESIGN.md substitution 3).
+All rounds charged here are attributed to the caller's current phase —
+pipelines wrap this in a ``substrate/...`` phase so experiments can
+report the paper-contributed phases separately.
+
+Vertex ``v``'s label is ``I(v) = [low(v), high(v)]`` over DFS numbers
+(Definition 2.13): ``u`` is an ancestor of ``v`` iff ``I(v) ⊆ I(u)``;
+unrelated vertices have disjoint intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import NotATreeError
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+
+__all__ = ["list_rank", "euler_intervals"]
+
+NIL = np.int64(-1)
+
+
+def list_rank(rt: Runtime, succ: np.ndarray) -> np.ndarray:
+    """Distance from each list cell to the end (``succ == -1`` ends a list).
+
+    Standard pointer doubling: ``O(log n)`` rounds over lookups. Works on
+    any union of disjoint chains; cycles raise ``NotATreeError``.
+    """
+    succ = np.asarray(succ, dtype=np.int64)
+    n = len(succ)
+    ids = np.arange(n, dtype=np.int64)
+    ptr = succ.copy()
+    dist = (ptr != NIL).astype(np.int64)
+    limit = int(np.ceil(np.log2(n + 2))) + 2
+    it = 0
+    while rt.scalar(Table(x=(ptr != NIL).astype(np.int64)), "x", "max") > 0:
+        if it > limit:
+            raise NotATreeError("list ranking did not converge (cycle in list)")
+        live = ptr != NIL
+        q = Table(v=ids, p=np.where(live, ptr, 0))
+        got = rt.lookup(
+            q, ("p",), Table(v=ids, p2=ptr, d2=dist), ("v",),
+            {"p2": "p2", "d2": "d2"},
+        )
+        dist = dist + np.where(live, got.col("d2"), 0)
+        ptr = np.where(live, got.col("p2"), ptr)
+        it += 1
+    return dist
+
+
+def euler_intervals(
+    rt: Runtime, parent: np.ndarray, root: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """DFS numbers and subtree intervals ``(dfs, low, high)`` per vertex.
+
+    Children are visited in ascending id order (matching the sequential
+    oracle :meth:`repro.graph.tree.RootedTree.euler_intervals`).
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = len(parent)
+    if n == 1:
+        z = np.zeros(1, dtype=np.int64)
+        return z.copy(), z.copy(), z.copy()
+    ids = np.arange(n, dtype=np.int64)
+    nonroot = ids != root
+    kids = Table(v=ids[nonroot], p=parent[nonroot])
+    kids = rt.sort(kids, ("p", "v"))
+    ones = np.ones(len(kids), dtype=np.int64)
+    rank = rt.scan(kids.with_cols(__one=ones), "__one", "sum",
+                   by=("p",), exclusive=True)
+    kids = kids.with_cols(r=rank)
+
+    # first child / next sibling pointers
+    first = rt.filter(kids, kids.col("r") == 0)
+    fc = rt.lookup(
+        Table(v=ids), ("v",), first, ("p",), {"fc": "v"}, default={"fc": -1}
+    ).col("fc")
+    ns = rt.lookup(
+        kids.with_cols(r1=kids.col("r") + 1), ("p", "r1"),
+        kids, ("p", "r"), {"ns": "v"}, default={"ns": -1},
+    ).col("ns")
+    ns_of = np.full(n, -1, dtype=np.int64)
+    ns_of[kids.col("v")] = ns
+
+    # arcs: down(v) = 2v, up(v) = 2v+1 for v != root
+    down, up = 2 * ids, 2 * ids + 1
+    succ = np.full(2 * n, NIL, dtype=np.int64)
+    # succ(down_v): descend to first child, else climb
+    succ[down] = np.where(fc != -1, down[np.maximum(fc, 0)], up)
+    # succ(up_v): next sibling's down, else parent's up (NIL at root's kids end)
+    has_ns = ns_of != -1
+    par_up = np.where(parent != root, up[parent], NIL)
+    succ[up] = np.where(has_ns, down[np.maximum(ns_of, 0)], par_up)
+    # root has no arcs of its own
+    succ[down[root]] = NIL
+    succ[up[root]] = NIL
+    # the tour starts at down(first child of root); nothing points at it,
+    # and the final arc up(last child of root) already ends at NIL.
+    start = down[fc[root]]
+
+    arc_ids = np.arange(2 * n, dtype=np.int64)
+    is_real = np.zeros(2 * n, dtype=bool)
+    is_real[down[nonroot]] = True
+    is_real[up[nonroot]] = True
+
+    dist_end = list_rank(rt, np.where(is_real, succ, NIL))
+    total = 2 * (n - 1)
+    pos = np.where(is_real, total - 1 - dist_end, -1)
+
+    # DFS number = number of down-arcs at tour position <= pos(arc)
+    arcs = Table(
+        a=arc_ids[is_real],
+        pos=pos[is_real],
+        isdown=(arc_ids[is_real] % 2 == 0).astype(np.int64),
+    )
+    arcs = rt.sort(arcs, ("pos",))
+    cum = rt.scan(arcs, "isdown", "sum")
+    arcs = arcs.with_cols(cum=cum)
+
+    verts = Table(v=ids[nonroot])
+    got_d = rt.lookup(
+        verts.with_cols(a=down[nonroot]), ("a",), arcs, ("a",), {"c": "cum"}
+    )
+    got_u = rt.lookup(
+        verts.with_cols(a=up[nonroot]), ("a",), arcs, ("a",), {"c": "cum"}
+    )
+    dfs = np.zeros(n, dtype=np.int64)
+    high = np.zeros(n, dtype=np.int64)
+    dfs[ids[nonroot]] = got_d.col("c")
+    high[ids[nonroot]] = got_u.col("c")
+    dfs[root] = 0
+    high[root] = n - 1
+    low = dfs.copy()
+    return dfs, low, high

@@ -1,0 +1,116 @@
+"""Distributed tree rooting (Remark 2.2 substrate).
+
+Given the edge list of an (unrooted) tree and a designated root, orient
+every edge child->parent. The paper cites [BLM+23] (``O(log D)``
+deterministic); we substitute the classical Euler-circuit method:
+
+1. replace each edge by two arcs;
+2. the successor of arc ``(u -> v)`` is the arc ``(v -> w)`` where ``w``
+   is the cyclically next neighbour of ``v`` after ``u`` (sorted ids) —
+   this stitches all arcs into one Euler circuit of the tree;
+3. cut the circuit at the root's first out-arc and list-rank it;
+4. each vertex's parent is the source of its earliest incoming arc.
+
+``O(log n)`` rounds, ``O(n)`` words (DESIGN.md substitution 3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import NotATreeError
+from ..mpc.runtime import Runtime
+from ..mpc.table import Table
+from .euler import list_rank
+
+__all__ = ["root_tree"]
+
+
+def root_tree(
+    rt: Runtime,
+    n: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray | None = None,
+    root: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Orient a tree edge list; returns ``(parent, weight_to_parent)``.
+
+    The input must be a tree on ``0..n-1`` (validate with
+    :func:`repro.trees.connectivity.mpc_is_spanning_tree` first — a
+    non-tree input raises :class:`~repro.errors.NotATreeError` when the
+    circuit fails to rank).
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    m = len(u)
+    if w is None:
+        w = np.zeros(m, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    if m != n - 1:
+        raise NotATreeError(f"a tree on {n} vertices needs {n-1} edges, got {m}")
+    if n == 1:
+        return np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.float64)
+
+    # arcs 0..2m-1: arc 2i = (u_i -> v_i), arc 2i+1 = (v_i -> u_i)
+    aid = np.arange(2 * m, dtype=np.int64)
+    frm = np.empty(2 * m, dtype=np.int64)
+    to = np.empty(2 * m, dtype=np.int64)
+    frm[0::2], to[0::2] = u, v
+    frm[1::2], to[1::2] = v, u
+    wt = np.repeat(w, 2)
+
+    arcs = Table(a=aid, frm=frm, to=to)
+    # out-rank of each arc among arcs leaving `frm`, neighbours ascending
+    arcs_s = rt.sort(arcs, ("frm", "to"))
+    ones = np.ones(len(arcs_s), dtype=np.int64)
+    orank = rt.scan(arcs_s.with_cols(__one=ones), "__one", "sum",
+                    by=("frm",), exclusive=True)
+    arcs_s = arcs_s.with_cols(orank=orank)
+    deg_tab = rt.reduce_by_key(
+        arcs_s.with_cols(__one=ones), ("frm",), {"deg": ("__one", "sum")}
+    )
+    # successor of (u->v): out-arc of v with rank (rank(v->u) + 1) mod deg(v)
+    rev = np.bitwise_xor(aid, 1)  # reversed arc id
+    back = rt.lookup(
+        Table(a=aid, ra=rev), ("ra",), arcs_s, ("a",), {"r": "orank"}
+    )
+    degs = rt.lookup(Table(a=aid, v=to), ("v",), deg_tab, ("frm",), {"deg": "deg"})
+    nxt_rank = (back.col("r") + 1) % degs.col("deg")
+    succ_tab = rt.lookup(
+        Table(a=aid, v=to, nr=nxt_rank), ("v", "nr"),
+        arcs_s, ("frm", "orank"), {"succ": "a"},
+    )
+    succ = succ_tab.col("succ")
+
+    # cut the circuit at the root's rank-0 out-arc
+    start_tab = rt.lookup(
+        Table(v=np.array([root]), r=np.array([0])), ("v", "r"),
+        arcs_s, ("frm", "orank"), {"a": "a"},
+    )
+    start = int(start_tab.col("a")[0])
+    succ = np.where(succ == start, -1, succ)
+
+    dist_end = list_rank(rt, succ)
+    total = 2 * m
+    pos = total - 1 - dist_end
+
+    # parent(x) = frm of x's earliest incoming arc
+    inc = Table(to=to, pos=pos)
+    first_in = rt.reduce_by_key(inc, ("to",), {"fpos": ("pos", "min")})
+    got = rt.lookup(
+        first_in, ("to", "fpos"),
+        Table(to=to, pos=pos, frm=frm, wt=wt), ("to", "pos"),
+        {"par": "frm", "w": "wt"},
+    )
+    parent = np.full(n, -1, dtype=np.int64)
+    weight = np.zeros(n, dtype=np.float64)
+    parent[got.col("to")] = got.col("par")
+    weight[got.col("to")] = got.col("w")
+    parent[root] = root
+    weight[root] = 0.0
+    if np.any(parent < 0):
+        raise NotATreeError("rooting failed: some vertex received no parent")
+    return parent, weight

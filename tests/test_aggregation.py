@@ -1,0 +1,99 @@
+"""Subtree aggregation substrate tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.graph.generators import tree_instance
+from repro.graph.tree import RootedTree
+from repro.mpc import LocalRuntime
+from repro.trees import subtree_extremum, subtree_sum
+
+SHAPES = ["path", "star", "binary", "caterpillar", "random"]
+
+
+def oracle_subtree(tree, values, op):
+    n = tree.n
+    out = np.array(values, dtype=np.float64)
+    order = np.argsort(tree.depths())[::-1]  # deepest first
+    for v in order:
+        p = int(tree.parent[v])
+        if p != v:
+            if op == "sum":
+                out[p] += out[v]
+            elif op == "max":
+                out[p] = max(out[p], out[v])
+            else:
+                out[p] = min(out[p], out[v])
+    return out
+
+
+class TestSubtreeSum:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_matches_oracle(self, shape, rt, rng):
+        t = tree_instance(shape, 120, 4)
+        vals = rng.integers(0, 100, 120).astype(np.int64)
+        _, low, high = t.euler_intervals()
+        got = subtree_sum(rt, vals, low, high)
+        want = oracle_subtree(t, vals, "sum")
+        assert np.array_equal(got, want.astype(np.int64))
+
+    def test_root_gets_total(self, rt):
+        t = tree_instance("random", 50, 1)
+        vals = np.ones(50, dtype=np.int64)
+        _, low, high = t.euler_intervals()
+        got = subtree_sum(rt, vals, low, high)
+        assert got[t.root] == 50
+
+    def test_leaves_get_own_value(self, rt):
+        t = tree_instance("star", 20, 0)
+        vals = np.arange(20, dtype=np.int64)
+        _, low, high = t.euler_intervals()
+        got = subtree_sum(rt, vals, low, high)
+        assert np.array_equal(got[1:], vals[1:])
+
+
+class TestSubtreeExtremum:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("op", ["max", "min"])
+    def test_matches_oracle(self, shape, op, rt, rng):
+        t = tree_instance(shape, 90, 2)
+        vals = rng.uniform(-5, 5, 90)
+        _, low, high = t.euler_intervals()
+        got = subtree_extremum(rt, vals, low, high, op=op)
+        np.testing.assert_allclose(got, oracle_subtree(t, vals, op))
+
+    def test_invalid_op(self, rt):
+        t = tree_instance("path", 5, 0)
+        _, low, high = t.euler_intervals()
+        with pytest.raises(ProtocolError):
+            subtree_extremum(rt, np.ones(5), low, high, op="sum")
+
+    def test_single_vertex(self, rt):
+        got = subtree_extremum(rt, np.array([3.5]), np.array([0]),
+                               np.array([0]))
+        assert got[0] == 3.5
+
+    @given(n=st.integers(2, 64), seed=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_property_max(self, n, seed):
+        rng = np.random.default_rng(seed)
+        parent = np.zeros(n, dtype=np.int64)
+        for i in range(1, n):
+            parent[i] = rng.integers(0, i)
+        t = RootedTree(parent=parent, root=0)
+        vals = rng.uniform(0, 1, n)
+        _, low, high = t.euler_intervals()
+        rt = LocalRuntime()
+        got = subtree_extremum(rt, vals, low, high, op="max")
+        np.testing.assert_allclose(got, oracle_subtree(t, vals, "max"))
+
+    def test_memory_charged_superlinear(self):
+        rt = LocalRuntime()
+        t = tree_instance("path", 256, 0)
+        _, low, high = t.euler_intervals()
+        subtree_extremum(rt, np.ones(256), low, high)
+        # sparse table is Θ(n log n) words — documented trade-off
+        assert rt.tracker.peak_global_words >= 256 * 8

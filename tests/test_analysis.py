@@ -1,0 +1,88 @@
+"""Analysis/harness tests: tables, log fits, sweep helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    diameter_sweep_instances,
+    fit_log,
+    growth_ratio,
+    render_table,
+    sensitivity_rounds_row,
+    to_csv,
+    verification_rounds_row,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        out = render_table(["a", "bb"], [(1, 2.5), (30, 4.25)])
+        lines = out.strip().split("\n")
+        assert lines[0].endswith("bb")
+        assert set(lines[1]) == {"-"}
+        assert "30" in lines[3]
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [(0.0001,), (float("inf"),),
+                                   (float("nan"),)])
+        assert "1.000e-04" in out
+        assert "inf" in out
+        assert "-" in out
+
+    def test_csv(self):
+        out = to_csv(["a", "b"], [(1, 2), (3, 4)])
+        assert out.splitlines() == ["a,b", "1,2", "3,4"]
+
+
+class TestFitLog:
+    def test_exact_log_data(self):
+        d = [2, 4, 8, 16, 32]
+        r = [10 * np.log2(x) + 3 for x in d]
+        fit = fit_log(d, r)
+        assert abs(fit.slope - 10) < 1e-9
+        assert abs(fit.intercept - 3) < 1e-9
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_linear_data_fits_poorly(self):
+        d = [2, 4, 8, 16, 32, 64, 128, 256]
+        r = [float(x) for x in d]
+        fit = fit_log(d, r)
+        assert fit.r2 < 0.9
+
+    def test_predict(self):
+        fit = fit_log([2, 4, 8], [1, 2, 3])
+        np.testing.assert_allclose(fit.predict(np.array([16.0])), [4.0])
+
+    def test_constant_data(self):
+        fit = fit_log([2, 4, 8], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_growth_ratio(self):
+        assert growth_ratio([2, 8], [10, 14]) == pytest.approx(2.0)
+        assert growth_ratio([4, 4], [1, 2]) == 0.0
+
+
+class TestSweepHelpers:
+    def test_instances_have_exact_diameters(self):
+        from repro.graph.tree import RootedTree
+
+        pairs = diameter_sweep_instances(200, [4, 16, 64], extra_m=100)
+        for d, g in pairs:
+            tm = g.tree_mask
+            t = RootedTree.from_edges(g.n, g.u[tm], g.v[tm], g.w[tm], root=0)
+            assert t.diameter() == d
+
+    def test_verification_row_fields(self):
+        pairs = diameter_sweep_instances(150, [8], extra_m=150)
+        row = verification_rounds_row(pairs[0][1])
+        for key in ("rounds_total", "rounds_core", "rounds_substrate",
+                    "peak_words", "d_hat", "clusters_final"):
+            assert key in row
+        assert row["rounds_core"] > 0
+
+    def test_sensitivity_row_fields(self):
+        pairs = diameter_sweep_instances(150, [8], extra_m=150)
+        row = sensitivity_rounds_row(pairs[0][1])
+        for key in ("rounds_total", "rounds_core", "notes_peak", "d_hat"):
+            assert key in row

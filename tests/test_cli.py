@@ -1,0 +1,78 @@
+"""CLI smoke and behaviour tests (python -m repro ...)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestVerifyCommand:
+    def test_accepts_true_mst(self):
+        code, text = run_cli(["verify", "--shape", "binary", "--n", "127",
+                              "--extra-m", "200"])
+        assert code == 0
+        assert "is MST:   True" in text
+
+    def test_break_mst_reports_witness(self):
+        code, text = run_cli(["verify", "--shape", "random", "--n", "100",
+                              "--break-mst"])
+        assert code == 0
+        assert "is MST:   False" in text
+        assert "witness edges" in text
+
+    def test_oracle_labels_flag(self):
+        _, full = run_cli(["verify", "--n", "100"])
+        _, orc = run_cli(["verify", "--n", "100", "--oracle-labels"])
+        assert "substrate 0" not in full
+        rounds_full = int(full.split("rounds:   ")[1].split(" ")[0])
+        rounds_orc = int(orc.split("rounds:   ")[1].split(" ")[0])
+        assert rounds_orc < rounds_full
+
+    def test_distributed_engine(self):
+        code, text = run_cli(["verify", "--shape", "star", "--n", "40",
+                              "--extra-m", "60", "--engine", "distributed",
+                              "--delta", "0.6"])
+        assert code == 0 and "is MST:   True" in text
+
+
+class TestSensitivityCommand:
+    def test_lists_fragile_edges(self):
+        code, text = run_cli(["sensitivity", "--shape", "caterpillar",
+                              "--n", "120", "--top", "4"])
+        assert code == 0
+        assert "most fragile tree edges" in text
+        assert "slack" in text
+
+    def test_bridge_count_reported(self):
+        code, text = run_cli(["sensitivity", "--n", "80", "--extra-m", "3"])
+        assert code == 0 and "bridges" in text
+
+
+class TestSweepCommands:
+    def test_sweep_prints_fit(self):
+        code, text = run_cli(["sweep", "--n", "512",
+                              "--diameters", "8,64,256"])
+        assert code == 0
+        assert "R2=" in text and "core rounds" in text
+
+    def test_lower_bound_both_sides(self):
+        code, text = run_cli(["lower-bound", "--sizes", "32,64"])
+        assert code == 0
+        assert "True" in text and "False" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_shape(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--shape", "hypercube"])

@@ -1,0 +1,153 @@
+"""The two engines must agree bit-for-bit — outputs and charged rounds.
+
+This is the license for running experiments on the fast vectorised
+engine while claiming message-level fidelity (DESIGN.md substitution 1).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import DistributedRuntime, LocalRuntime, MPCConfig, Table
+
+HINT = 60_000
+
+
+def engines():
+    return (
+        LocalRuntime(MPCConfig(seed=5)),
+        DistributedRuntime(MPCConfig(delta=0.6, seed=5), total_words_hint=HINT),
+    )
+
+
+def random_table(rng, n, kmax):
+    return Table(
+        k=rng.integers(0, kmax, n),
+        k2=rng.integers(0, 5, n),
+        v=rng.uniform(-10, 10, n),
+        g=np.arange(n),
+    )
+
+
+@pytest.mark.parametrize("n,kmax", [(0, 1), (1, 1), (13, 3), (257, 40),
+                                    (600, 2), (600, 10_000)])
+def test_sort_equivalent(n, kmax):
+    rng = np.random.default_rng(n + kmax)
+    t = random_table(rng, n, kmax)
+    lr, dr = engines()
+    a = lr.sort(t, ("k", "g"))
+    b = dr.sort(t, ("k", "g"))
+    assert a.equals(b)
+    assert lr.rounds == dr.rounds
+
+
+@pytest.mark.parametrize("op", ["sum", "max", "min"])
+@pytest.mark.parametrize("exclusive", [False, True])
+def test_scan_equivalent(op, exclusive):
+    rng = np.random.default_rng(42)
+    t = random_table(rng, 400, 12)
+    lr, dr = engines()
+    ts_l = lr.sort(t, ("k", "g"))
+    ts_d = dr.sort(t, ("k", "g"))
+    vcol = "g" if op == "sum" else "v"
+    a = lr.scan(ts_l, vcol, op, by=("k",), exclusive=exclusive)
+    b = dr.scan(ts_d, vcol, op, by=("k",), exclusive=exclusive)
+    np.testing.assert_array_equal(a, b)
+    assert lr.rounds == dr.rounds
+
+
+@pytest.mark.parametrize("nq,nd", [(0, 5), (5, 0), (50, 50), (300, 30)])
+def test_lookup_equivalent(nq, nd):
+    rng = np.random.default_rng(nq * 7 + nd)
+    q = Table(k=rng.integers(0, 40, nq))
+    d = Table(k=rng.permutation(200)[:nd].astype(np.int64),
+              v=rng.uniform(0, 1, nd))
+    lr, dr = engines()
+    a = lr.lookup(q, ("k",), d, ("k",), {"v": "v"}, default={"v": -1.0})
+    b = dr.lookup(q, ("k",), d, ("k",), {"v": "v"}, default={"v": -1.0})
+    assert a.equals(b)
+    assert lr.rounds == dr.rounds
+
+
+def test_predecessor_equivalent():
+    rng = np.random.default_rng(0)
+    q = Table(k=rng.integers(-100, 100, 200))
+    d = Table(k=np.sort(rng.integers(-80, 80, 60)), v=np.arange(60) * 1.0)
+    lr, dr = engines()
+    a = lr.predecessor(q, "k", d, "k", {"v": "v"}, {"v": -1.0})
+    b = dr.predecessor(q, "k", d, "k", {"v": "v"}, {"v": -1.0})
+    assert a.equals(b)
+
+
+def test_reduce_equivalent():
+    rng = np.random.default_rng(1)
+    t = random_table(rng, 500, 17)
+    lr, dr = engines()
+    aggs = {"mx": ("v", "max"), "sm": ("g", "sum"), "mn": ("v", "min")}
+    a = lr.reduce_by_key(t, ("k",), aggs)
+    b = dr.reduce_by_key(t, ("k",), aggs)
+    assert a.equals(b)
+    assert lr.rounds == dr.rounds
+
+
+def test_expand_join_equivalent():
+    rng = np.random.default_rng(2)
+    q = Table(k=rng.integers(0, 15, 60), qid=np.arange(60))
+    d = Table(k=rng.integers(0, 15, 90), val=rng.uniform(0, 1, 90))
+    lr, dr = engines()
+    a = lr.expand_join(q, ("k",), d, ("k",), {"v": "val"}, carry=("qid",))
+    b = dr.expand_join(q, ("k",), d, ("k",), {"v": "val"}, carry=("qid",))
+    assert a.equals(b)
+    assert lr.rounds == dr.rounds
+
+
+def test_filter_scalar_equivalent():
+    rng = np.random.default_rng(3)
+    t = random_table(rng, 333, 9)
+    lr, dr = engines()
+    assert lr.filter(t, t.col("v") > 0).equals(dr.filter(t, t.col("v") > 0))
+    assert lr.scalar(t, "v", "max") == dr.scalar(t, "v", "max")
+    assert lr.scalar(t, "g", "sum") == dr.scalar(t, "g", "sum")
+    assert lr.rounds == dr.rounds
+
+
+@given(
+    keys=st.lists(st.integers(0, 8), min_size=0, max_size=60),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_sort_reduce_equivalent(keys, seed):
+    rng = np.random.default_rng(seed)
+    n = len(keys)
+    t = Table(k=np.array(keys, dtype=np.int64),
+              v=rng.uniform(0, 1, n), g=np.arange(n))
+    lr, dr = engines()
+    assert lr.sort(t, ("k", "g")).equals(dr.sort(t, ("k", "g")))
+    if n:
+        a = lr.reduce_by_key(t, ("k",), {"m": ("v", "min")})
+        b = dr.reduce_by_key(t, ("k",), {"m": ("v", "min")})
+        assert a.equals(b)
+
+
+def test_full_pipeline_equivalence_verification():
+    from repro.core.verification import verify_mst
+    from repro.graph.generators import known_mst_instance
+
+    g, _ = known_mst_instance("random", 35, extra_m=50, rng=8)
+    rl = verify_mst(g, engine="local")
+    rd = verify_mst(g, engine="distributed", config=MPCConfig(delta=0.6))
+    assert rl.is_mst == rd.is_mst
+    np.testing.assert_allclose(rl.pathmax, rd.pathmax)
+    assert rl.rounds == rd.rounds
+
+
+def test_full_pipeline_equivalence_sensitivity():
+    from repro.core.sensitivity import mst_sensitivity
+    from repro.graph.generators import known_mst_instance
+
+    g, _ = known_mst_instance("caterpillar", 30, extra_m=45, rng=9)
+    sl = mst_sensitivity(g, engine="local")
+    sd = mst_sensitivity(g, engine="distributed", config=MPCConfig(delta=0.6))
+    np.testing.assert_allclose(sl.sensitivity, sd.sensitivity)
+    assert sl.rounds == sd.rounds

@@ -1,0 +1,67 @@
+"""The shipped examples must run to completion (subprocess smoke tests)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "datacenter_topology_audit.py",
+        "backbone_sensitivity_planning.py",
+        "regional_grid_forest.py",
+        "lower_bound_demo.py",
+        "scaling_study.py",
+    } <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "is MST?          True" in out
+    assert "most fragile MST edges" in out
+    assert "is_mst=False" in out  # the perturbed copy
+
+
+def test_lower_bound_demo():
+    out = run_example("lower_bound_demo.py")
+    assert "rejected" in out
+    assert "R²" in out
+
+
+def test_regional_grid_forest():
+    out = run_example("regional_grid_forest.py")
+    assert "forest verified minimal: True" in out
+    assert "north" in out and "coast" in out
+
+
+def test_backbone_planning():
+    out = run_example("backbone_sensitivity_planning.py")
+    assert "priced out" in out
+    assert "required discount" in out
+
+
+@pytest.mark.slow
+def test_datacenter_audit():
+    out = run_example("datacenter_topology_audit.py", timeout=480)
+    assert "rounds stay flat" in out
+
+
+@pytest.mark.slow
+def test_scaling_study():
+    out = run_example("scaling_study.py", timeout=480)
+    assert "message-level engine agrees" in out

@@ -1,0 +1,131 @@
+"""Minimum spanning forest support (Remark 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import sequential_sensitivity, verify_by_recompute
+from repro.core.forest import msf_sensitivity, stitch_components, verify_msf
+from repro.errors import ValidationError
+from repro.graph.generators import known_mst_instance, perturb_break_mst
+from repro.graph.graph import WeightedGraph
+from repro.mpc import LocalRuntime
+
+
+def union_graphs(parts):
+    """Disjoint union of graphs, relabelling vertices consecutively."""
+    n = 0
+    u, v, w, mask = [], [], [], []
+    for g in parts:
+        u.append(g.u + n)
+        v.append(g.v + n)
+        w.append(g.w)
+        mask.append(g.tree_mask)
+        n += g.n
+    return WeightedGraph(
+        n=n, u=np.concatenate(u), v=np.concatenate(v),
+        w=np.concatenate(w), tree_mask=np.concatenate(mask),
+    )
+
+
+def two_component_instance(seed=0):
+    g1, _ = known_mst_instance("random", 40, extra_m=80, rng=seed)
+    g2, _ = known_mst_instance("caterpillar", 30, extra_m=60, rng=seed + 1)
+    return union_graphs([g1, g2])
+
+
+class TestStitching:
+    def test_single_component_passthrough(self):
+        g, _ = known_mst_instance("random", 30, extra_m=50, rng=2)
+        rt = LocalRuntime()
+        aug, anchors, reason = stitch_components(rt, g)
+        assert aug is g and len(anchors) == 1 and reason == "ok"
+
+    def test_two_components_linked(self):
+        g = two_component_instance()
+        rt = LocalRuntime()
+        aug, anchors, reason = stitch_components(rt, g)
+        assert reason == "ok" and len(anchors) == 2
+        assert aug.m == g.m + 1
+        assert aug.w[-1] > g.w.max()
+        assert aug.tree_mask[-1]
+
+    def test_component_mismatch_detected(self):
+        # T misses one component entirely
+        g1, _ = known_mst_instance("random", 20, extra_m=30, rng=3)
+        g2, _ = known_mst_instance("path", 10, extra_m=10, rng=4)
+        bad_mask = g2.tree_mask.copy()
+        g2b = WeightedGraph(n=g2.n, u=g2.u, v=g2.v, w=g2.w,
+                            tree_mask=np.zeros_like(bad_mask))
+        g = union_graphs([g1, g2b])
+        rt = LocalRuntime()
+        aug, _, reason = stitch_components(rt, g)
+        assert aug is None and reason == "forest-components-mismatch"
+
+    def test_cycle_in_forest_detected(self):
+        # right edge count but a cycle: components of T differ from G
+        g = WeightedGraph.from_edges(
+            4,
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0)],
+            tree_edges=[(0, 1), (1, 2), (0, 2)],
+        )
+        rt = LocalRuntime()
+        aug, _, reason = stitch_components(rt, g)
+        assert aug is None
+
+
+class TestVerifyMSF:
+    def test_true_msf_accepted(self):
+        g = two_component_instance(5)
+        r = verify_msf(g)
+        assert r.is_mst
+
+    def test_perturbed_component_rejected(self):
+        g1, _ = known_mst_instance("random", 40, extra_m=80, rng=6)
+        g2, _ = known_mst_instance("caterpillar", 30, extra_m=60, rng=7)
+        bad = union_graphs([g1, perturb_break_mst(g2, rng=7)])
+        r = verify_msf(bad)
+        assert not r.is_mst
+        assert len(r.violating_edges) >= 1
+        assert np.all(r.violating_edges < bad.m)
+        # the violation lives in the second component's edge range
+        assert np.all(r.violating_edges >= g1.m)
+
+    def test_three_components_with_isolated_vertex(self):
+        g1, _ = known_mst_instance("binary", 31, extra_m=60, rng=8)
+        iso = WeightedGraph(n=1, u=np.empty(0, np.int64),
+                            v=np.empty(0, np.int64),
+                            w=np.empty(0, np.float64))
+        g2, _ = known_mst_instance("star", 20, extra_m=40, rng=9)
+        g = union_graphs([g1, iso, g2])
+        assert verify_msf(g).is_mst
+
+    def test_connected_input_same_as_verify_mst(self):
+        from repro.core.verification import verify_mst
+
+        g, _ = known_mst_instance("random", 50, extra_m=100, rng=10)
+        assert verify_msf(g).is_mst == verify_mst(g).is_mst
+
+
+class TestMSFSensitivity:
+    def test_matches_per_component_oracle(self):
+        g1, _ = known_mst_instance("random", 40, extra_m=90, rng=11)
+        g2, _ = known_mst_instance("binary", 31, extra_m=70, rng=12)
+        g = union_graphs([g1, g2])
+        r = msf_sensitivity(g)
+        o1 = sequential_sensitivity(g1)
+        o2 = sequential_sensitivity(g2, root=0)
+        want = np.concatenate([o1.sensitivity, o2.sensitivity])
+        np.testing.assert_allclose(r.sensitivity, want)
+
+    def test_sensitivity_array_sized_to_original_edges(self):
+        g = two_component_instance(13)
+        r = msf_sensitivity(g)
+        assert len(r.sensitivity) == g.m
+
+    def test_invalid_forest_raises(self):
+        g1, _ = known_mst_instance("random", 20, extra_m=40, rng=14)
+        mask = g1.tree_mask.copy()
+        mask[np.flatnonzero(mask)[0]] = False  # drop a tree edge
+        bad = WeightedGraph(n=g1.n, u=g1.u, v=g1.v, w=g1.w, tree_mask=mask)
+        with pytest.raises(ValidationError):
+            msf_sensitivity(bad)

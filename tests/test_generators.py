@@ -1,0 +1,164 @@
+"""Workload generator tests: shapes, diameters, MST properties."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import verify_by_recompute
+from repro.errors import ValidationError
+from repro.graph.generators import (
+    attach_nontree_edges,
+    backbone_tree,
+    balanced_tree,
+    caterpillar_tree,
+    known_mst_instance,
+    one_vs_two_cycles_instance,
+    path_tree,
+    perturb_break_mst,
+    random_connected_graph,
+    random_recursive_tree,
+    star_tree,
+    tree_instance,
+    TREE_SHAPES,
+)
+from repro.graph.validation import count_components, is_spanning_tree
+
+
+class TestTreeShapes:
+    def test_path_diameter(self):
+        assert path_tree(10).diameter() == 9
+
+    def test_star_diameter(self):
+        assert star_tree(10).diameter() == 2
+
+    def test_balanced_depth_logarithmic(self):
+        t = balanced_tree(127, 2)
+        assert t.height() == 6
+
+    def test_balanced_branching_validated(self):
+        with pytest.raises(ValidationError):
+            balanced_tree(10, 1)
+
+    def test_caterpillar_structure(self):
+        t = caterpillar_tree(20, spine=5)
+        assert t.n == 20
+        assert (t.depths() <= 5).all()
+
+    def test_caterpillar_spine_validated(self):
+        with pytest.raises(ValidationError):
+            caterpillar_tree(5, spine=9)
+
+    def test_random_recursive_reproducible(self):
+        a = random_recursive_tree(50, 7)
+        b = random_recursive_tree(50, 7)
+        assert np.array_equal(a.parent, b.parent)
+
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_dispatcher_covers_all_shapes(self, shape):
+        t = tree_instance(shape, 30, 1)
+        assert t.n == 30
+
+    def test_dispatcher_unknown(self):
+        with pytest.raises(ValidationError):
+            tree_instance("sierpinski", 10, 0)
+
+
+class TestBackbone:
+    @pytest.mark.parametrize("d", [2, 5, 17, 63, 99])
+    def test_exact_diameter(self, d):
+        t = backbone_tree(100, d, rng=d)
+        assert t.diameter() == d
+
+    def test_pure_path_when_n_matches(self):
+        t = backbone_tree(10, 9, rng=0)
+        assert t.diameter() == 9
+
+    def test_diameter_out_of_range(self):
+        with pytest.raises(ValidationError):
+            backbone_tree(10, 10, rng=0)
+
+    def test_diameter_one_with_leaves_rejected(self):
+        with pytest.raises(ValidationError):
+            backbone_tree(10, 1, rng=0)
+
+
+class TestInstances:
+    @pytest.mark.parametrize("mode", ["mst", "tight"])
+    def test_tree_is_mst(self, mode):
+        g, t = known_mst_instance("random", 80, extra_m=160, rng=4, mode=mode)
+        assert verify_by_recompute(g)
+
+    def test_random_mode_usually_not_mst(self):
+        hits = 0
+        for seed in range(8):
+            g = random_connected_graph(60, 200, rng=seed)
+            hits += verify_by_recompute(g)
+        assert hits <= 2  # random weights almost never make T the MST
+
+    def test_nontree_weight_exceeds_pathmax(self):
+        g, t = known_mst_instance("binary", 64, extra_m=100, rng=0)
+        nu, nv, nw = g.nontree_edges()
+        assert np.all(nw >= t.path_max(nu, nv))
+
+    def test_perturbation_breaks_mst(self):
+        g, _ = known_mst_instance("random", 70, extra_m=140, rng=1)
+        bad = perturb_break_mst(g, rng=2)
+        assert verify_by_recompute(g)
+        assert not verify_by_recompute(bad)
+
+    def test_perturbation_requires_nontree_edges(self):
+        g, _ = known_mst_instance("path", 10, extra_m=0, rng=0)
+        with pytest.raises(ValidationError):
+            perturb_break_mst(g, rng=0)
+
+    def test_reproducible(self):
+        g1, _ = known_mst_instance("random", 30, extra_m=50, rng=42)
+        g2, _ = known_mst_instance("random", 30, extra_m=50, rng=42)
+        assert np.array_equal(g1.w, g2.w)
+
+    def test_random_connected_graph_connected(self):
+        g = random_connected_graph(40, 60, rng=5)
+        assert count_components(g.n, g.u, g.v) == 1
+
+    def test_random_connected_needs_enough_edges(self):
+        with pytest.raises(ValidationError):
+            random_connected_graph(10, 5, rng=0)
+
+
+class TestLowerBoundFamily:
+    def test_one_cycle_candidate_is_spanning_mst(self):
+        g, apex = one_vs_two_cycles_instance(40, two_cycles=False, rng=1)
+        tu, tv, _ = g.tree_edges()
+        assert is_spanning_tree(g.n, tu, tv)
+        assert verify_by_recompute(g)
+
+    def test_two_cycles_candidate_not_a_tree(self):
+        g, apex = one_vs_two_cycles_instance(40, two_cycles=True, rng=1)
+        tu, tv, _ = g.tree_edges()
+        assert not is_spanning_tree(g.n, tu, tv)
+
+    def test_graph_diameter_is_two(self):
+        import networkx as nx
+
+        g, apex = one_vs_two_cycles_instance(20, two_cycles=False, rng=0)
+        nxg = nx.Graph()
+        nxg.add_edges_from(zip(g.u.tolist(), g.v.tolist()))
+        assert nx.diameter(nxg) == 2
+
+    def test_candidate_tree_diameter_is_linear(self):
+        from repro.graph.tree import RootedTree
+
+        g, apex = one_vs_two_cycles_instance(40, two_cycles=False, rng=3)
+        tu, tv, tw = g.tree_edges()
+        t = RootedTree.from_edges(g.n, tu, tv, tw, root=apex)
+        assert t.diameter() >= g.n // 2
+
+    def test_odd_or_small_n_rejected(self):
+        with pytest.raises(ValidationError):
+            one_vs_two_cycles_instance(7, False, rng=0)
+        with pytest.raises(ValidationError):
+            one_vs_two_cycles_instance(4, False, rng=0)
+
+    def test_ids_shuffled(self):
+        g, _ = one_vs_two_cycles_instance(30, False, rng=9)
+        cyc_u = g.u[: 30]
+        assert not np.array_equal(np.sort(cyc_u), cyc_u)

@@ -1,0 +1,79 @@
+"""WeightedGraph representation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import WeightedGraph
+
+
+def small():
+    return WeightedGraph.from_edges(
+        4,
+        [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 9.0)],
+        tree_edges=[(0, 1), (1, 2), (2, 3)],
+    )
+
+
+class TestConstruction:
+    def test_from_edges_marks_tree(self):
+        g = small()
+        assert g.m == 4 and g.m_tree == 3
+        assert not g.tree_mask[3]
+
+    def test_tree_edge_order_insensitive(self):
+        g = WeightedGraph.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 1.0)], tree_edges=[(1, 0), (2, 1)]
+        )
+        assert g.m_tree == 2
+
+    def test_missing_tree_edge_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph.from_edges(3, [(0, 1, 1.0)], tree_edges=[(1, 2)])
+
+    def test_multi_edges_allowed(self):
+        g = WeightedGraph.from_edges(
+            2, [(0, 1, 1.0), (0, 1, 2.0)], tree_edges=[(0, 1)]
+        )
+        assert g.m == 2 and g.m_tree == 1  # only one copy marked
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(n=2, u=[0], v=[0], w=[1.0])
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(n=2, u=[0], v=[5], w=[1.0])
+
+    def test_nonfinite_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(n=2, u=[0], v=[1], w=[np.inf])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(n=2, u=[0], v=[1], w=[1.0, 2.0])
+
+
+class TestViews:
+    def test_tree_and_nontree_split(self):
+        g = small()
+        tu, tv, tw = g.tree_edges()
+        nu, nv, nw = g.nontree_edges()
+        assert len(tu) == 3 and len(nu) == 1
+        assert nw[0] == 9.0
+
+    def test_total_words(self):
+        g = small()
+        assert g.total_words() == 4 * 4 + 4
+
+    def test_copy_independent(self):
+        g = small()
+        c = g.copy()
+        c.w[0] = 99.0
+        assert g.w[0] == 1.0
+
+    def test_with_weights(self):
+        g = small()
+        g2 = g.with_weights(g.w * 2)
+        assert g2.w[0] == 2.0 and g.w[0] == 1.0
+        assert np.array_equal(g2.tree_mask, g.tree_mask)

@@ -1,0 +1,142 @@
+"""Cluster hierarchy invariants (Definitions 2.5–2.9, Observation 2.10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import build_hierarchy, contraction_target
+from repro.graph.generators import backbone_tree, tree_instance
+from repro.graph.tree import RootedTree
+from repro.mpc import LocalRuntime
+
+SHAPES = ["path", "star", "binary", "caterpillar", "random"]
+
+
+def build(shape, n, seed=0, **kw):
+    t = tree_instance(shape, n, seed)
+    rt = LocalRuntime()
+    _, low, high = t.euler_intervals()
+    d = max(1, t.diameter())
+    h = build_hierarchy(rt, t.parent, np.zeros(n), t.root, low, high, d, **kw)
+    return t, h, rt
+
+
+class TestTarget:
+    def test_target_formula(self):
+        assert contraction_target(1000, 10) == 100
+        assert contraction_target(1000, 10, exponent=2.0) == 10
+        assert contraction_target(10, 10_000) == 1
+
+    def test_target_reached(self):
+        for shape in SHAPES:
+            t, h, _ = build(shape, 300, 2)
+            assert h.hit_target
+            assert h.final_count <= max(1, h.target)
+
+
+class TestClusterInvariants:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_leaders_are_subtree_roots(self, shape):
+        t, h, _ = build(shape, 200, 1)
+        leader = h.final_leader
+        # Definition 2.5: within a cluster, every non-leader vertex's
+        # parent is in the same cluster (connected subtree, rooted at
+        # the leader)
+        for v in range(t.n):
+            if v != leader[v]:
+                assert leader[int(t.parent[v])] == leader[v]
+        # the leader is an ancestor of every member
+        dfs, low, high = t.euler_intervals()
+        members = np.arange(t.n)
+        assert np.all(low[leader[members]] <= low[members])
+        assert np.all(high[members] <= high[leader[members]])
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_no_junior_senior_chains(self, shape):
+        # Definition 2.7: within one step, no cluster is absorbed while
+        # also absorbing others
+        t, h, _ = build(shape, 250, 3)
+        for lv in h.levels:
+            juniors = set(lv.junior.tolist())
+            seniors = set(lv.senior.tolist())
+            assert not (juniors & seniors)
+            # juniors are distinct
+            assert len(juniors) == len(lv.junior)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_merge_records_consistent_with_tree(self, shape):
+        t, h, _ = build(shape, 150, 4)
+        for lv in h.levels:
+            assert np.all(t.parent[lv.junior] == lv.parent_vertex)
+
+    def test_root_cluster_never_contracts(self):
+        t, h, _ = build("random", 200, 5)
+        for lv in h.levels:
+            assert t.root not in set(lv.junior.tolist())
+        assert h.final_leader[t.root] == t.root
+
+    def test_vertices_partitioned(self):
+        t, h, _ = build("binary", 127, 6)
+        fc = set(h.final_clusters.col("leader").tolist())
+        assert set(np.unique(h.final_leader).tolist()) == fc
+
+    def test_counts_monotone_nonincreasing(self):
+        t, h, _ = build("caterpillar", 300, 7)
+        assert all(a >= b for a, b in zip(h.counts, h.counts[1:]))
+        assert h.counts[0] == 300
+        assert h.counts[-1] == h.final_count
+
+
+class TestObservation210:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_total_merge_records_linear(self, shape):
+        # Observation 2.10: sum of per-level cluster records is O(n)
+        t, h, _ = build(shape, 400, 8)
+        assert h.total_cluster_records() <= 400
+
+    def test_geometric_decay_on_average(self):
+        t, h, _ = build("path", 512, 9)
+        # over any 8 consecutive steps, expect at least some decay until
+        # the target is reached
+        c = h.counts
+        for i in range(0, len(c) - 8, 8):
+            if c[i] > h.target * 2:
+                assert c[i + 8] < c[i]
+
+
+class TestFormationLevels:
+    def test_version_bookkeeping(self):
+        t, h, _ = build("random", 200, 10)
+        formed = {v: 0 for v in range(t.n)}
+        for lv in h.levels:
+            for j, s, jf, sp in zip(lv.junior, lv.senior,
+                                    lv.junior_formed, lv.senior_prev_formed):
+                assert formed[int(j)] == jf
+                assert formed[int(s)] == sp
+            for s in np.unique(lv.senior):
+                formed[int(s)] = lv.level
+        fc = h.final_clusters
+        for leader, f in zip(fc.col("leader"), fc.col("formed")):
+            assert formed[int(leader)] == f
+
+
+class TestAblationKnobs:
+    def test_reduction_exponent_changes_target(self):
+        _, h1, _ = build("path", 300, 0, reduction_exponent=0.5)
+        _, h2, _ = build("path", 300, 0, reduction_exponent=1.5)
+        assert h1.target > h2.target
+
+    def test_coin_bias_still_correct(self):
+        for bias in (0.2, 0.8):
+            t, h, _ = build("random", 150, 3, coin_bias=bias)
+            leader = h.final_leader
+            for v in range(t.n):
+                if v != leader[v]:
+                    assert leader[int(t.parent[v])] == leader[v]
+
+    def test_max_steps_cap(self):
+        t = tree_instance("path", 100, 0)
+        rt = LocalRuntime()
+        _, low, high = t.euler_intervals()
+        h = build_hierarchy(rt, t.parent, np.zeros(100), t.root, low, high,
+                            99, max_steps=2)
+        assert len(h.counts) <= 3

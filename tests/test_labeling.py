@@ -1,0 +1,130 @@
+"""Weight-preserving labelling (Definition 3.2) against brute force.
+
+The brute force recomputes, from the definition, for the *final*
+clustering: ``θ(c)`` by walking the parent cluster's segment, and
+``ω_lo/ω_hi`` by walking each half-edge's tree path and keeping the
+maxima of the pieces inside the endpoint clusters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adgraph import split_at_lca
+from repro.core.hierarchy import build_hierarchy
+from repro.core.labeling import evaluate_pathmax, run_weight_labeling
+from repro.graph.generators import attach_nontree_edges, tree_instance
+from repro.graph.tree import RootedTree
+from repro.mpc import LocalRuntime
+
+SHAPES = ["path", "binary", "caterpillar", "random"]
+
+
+def setup(shape, n, seed):
+    rng = np.random.default_rng(seed)
+    t0 = tree_instance(shape, n, seed)
+    w = rng.uniform(0, 1, n)
+    w[t0.root] = 0.0
+    tree = RootedTree(parent=t0.parent, root=t0.root, weight=w)
+    rt = LocalRuntime()
+    _, low, high = tree.euler_intervals()
+    d = max(1, tree.diameter())
+    h = build_hierarchy(rt, tree.parent, w, tree.root, low, high, d)
+
+    eu = rng.integers(0, n, 3 * n)
+    ev = rng.integers(0, n - 1, 3 * n)
+    ev = np.where(ev >= eu, ev + 1, ev)
+    lca = tree.lca(eu, ev)
+    halves = split_at_lca(rt, eu, ev, np.ones(3 * n), lca)
+    labeled = run_weight_labeling(rt, h, halves, low, high)
+    return tree, rt, h, halves, labeled, low, high
+
+
+def walk_up(tree, frm, to):
+    """Vertices and parent-edge weights from `frm` (exclusive of `to`)."""
+    x = frm
+    verts, edges = [x], []
+    while x != to:
+        edges.append((x, float(tree.weight[x])))
+        x = int(tree.parent[x])
+        verts.append(x)
+    return verts, edges
+
+
+class TestThetaDefinition:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_theta_matches_bruteforce(self, shape):
+        tree, rt, h, halves, labeled, low, high = setup(shape, 80, 1)
+        cl = labeled.clusters
+        leader_of = {int(l): int(l) for l in cl.col("leader")}
+        vleader = h.final_leader
+        for leader, pcl, theta in zip(cl.col("leader"), cl.col("pcl"),
+                                      cl.col("theta")):
+            if leader == tree.root:
+                continue
+            # θ(c): max weight from ℓ(parent cluster) down to p(ℓ(c))
+            _, edges = walk_up(tree, int(tree.parent[leader]), int(pcl))
+            want = max((w for _, w in edges), default=-np.inf)
+            assert np.isclose(theta, want) or (theta == want == -np.inf)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_cluster_cross_weights(self, shape):
+        tree, rt, h, halves, labeled, low, high = setup(shape, 60, 2)
+        cl = labeled.clusters
+        for leader, cw in zip(cl.col("leader"), cl.col("cw")):
+            if leader == tree.root:
+                continue
+            assert np.isclose(cw, tree.weight[leader])
+
+
+class TestOmegaDefinition:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_omega_matches_bruteforce(self, shape, seed):
+        tree, rt, h, halves, labeled, low, high = setup(shape, 70, seed)
+        vleader = h.final_leader
+        for i in range(len(halves)):
+            lo, hi = int(halves.lo[i]), int(halves.hi[i])
+            verts, edges = walk_up(tree, lo, hi)
+            in_lo = [w for c, w in edges if vleader[c] == vleader[lo]
+                     and vleader[int(tree.parent[c])] == vleader[lo]]
+            in_hi = [w for c, w in edges if vleader[c] == vleader[hi]
+                     and vleader[int(tree.parent[c])] == vleader[hi]]
+            want_lo = max(in_lo, default=-np.inf)
+            want_hi = max(in_hi, default=-np.inf)
+            if labeled.internal[i]:
+                # same cluster: a single ω value covering the whole path
+                assert vleader[lo] == vleader[hi]
+                whole = max((w for _, w in edges), default=-np.inf)
+                assert np.isclose(labeled.omega_lo[i], whole)
+                assert np.isclose(labeled.omega_hi[i], whole)
+            else:
+                assert vleader[lo] != vleader[hi]
+                ok_lo = np.isclose(labeled.omega_lo[i], want_lo) or (
+                    labeled.omega_lo[i] == want_lo
+                )
+                ok_hi = np.isclose(labeled.omega_hi[i], want_hi) or (
+                    labeled.omega_hi[i] == want_hi
+                )
+                assert ok_lo, (i, labeled.omega_lo[i], want_lo)
+                assert ok_hi, (i, labeled.omega_hi[i], want_hi)
+
+
+class TestPathmax:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_observation_33(self, shape, seed):
+        tree, rt, h, halves, labeled, low, high = setup(shape, 90, seed)
+        pm = evaluate_pathmax(rt, h, labeled)
+        want = tree.path_max_to_ancestor(halves.lo, halves.hi)
+        assert np.allclose(pm, want)
+
+    def test_empty_edges(self):
+        tree, rt, h, halves, labeled, low, high = setup("binary", 31, 0)
+        from repro.core.adgraph import HalfEdges
+
+        empty = HalfEdges(
+            eid=np.empty(0, np.int64), lo=np.empty(0, np.int64),
+            hi=np.empty(0, np.int64), w=np.empty(0, np.float64),
+        )
+        lab = run_weight_labeling(rt, h, empty, low, high)
+        assert len(evaluate_pathmax(rt, h, lab)) == 0

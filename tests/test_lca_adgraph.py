@@ -1,0 +1,155 @@
+"""All-edges LCA (Theorem 2.15) and the ancestor–descendant transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adgraph import split_at_lca
+from repro.core.hierarchy import build_hierarchy
+from repro.core.lca import all_edges_lca, compact_cluster_tree
+from repro.graph.generators import backbone_tree, tree_instance
+from repro.graph.tree import RootedTree
+from repro.mpc import LocalRuntime
+
+SHAPES = ["path", "star", "binary", "caterpillar", "random"]
+
+
+def lca_setup(tree, seed=0):
+    rt = LocalRuntime()
+    n = tree.n
+    _, low, high = tree.euler_intervals()
+    d = max(1, tree.diameter())
+    h = build_hierarchy(rt, tree.parent, np.zeros(n), tree.root, low, high, d)
+    return rt, h, low, high, d
+
+
+class TestAllEdgesLCA:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_matches_oracle(self, shape):
+        t = tree_instance(shape, 120, 3)
+        rt, h, low, high, d = lca_setup(t)
+        rng = np.random.default_rng(5)
+        eu = rng.integers(0, t.n, 300)
+        ev = rng.integers(0, t.n - 1, 300)
+        ev = np.where(ev >= eu, ev + 1, ev)
+        got = all_edges_lca(rt, h, low, high, eu, ev, d)
+        want = t.lca(eu, ev)
+        assert np.array_equal(got, want)
+
+    def test_ancestor_descendant_pairs(self):
+        t = tree_instance("path", 50, 0)
+        rt, h, low, high, d = lca_setup(t)
+        eu = np.array([40, 10, 49])
+        ev = np.array([10, 40, 0])
+        got = all_edges_lca(rt, h, low, high, eu, ev, d)
+        assert got.tolist() == [10, 10, 0]
+
+    def test_siblings(self):
+        t = tree_instance("star", 30, 0)
+        rt, h, low, high, d = lca_setup(t)
+        got = all_edges_lca(rt, h, low, high, np.array([5]), np.array([9]), d)
+        assert got[0] == 0
+
+    def test_empty_queries(self):
+        t = tree_instance("binary", 15, 0)
+        rt, h, low, high, d = lca_setup(t)
+        out = all_edges_lca(rt, h, low, high, np.empty(0, np.int64),
+                            np.empty(0, np.int64), d)
+        assert len(out) == 0
+
+    def test_depth_skewed_regression(self):
+        # DESIGN.md substitution 4: the paper's literal line-6 test
+        # (climbing both sides) stalls when one endpoint is much deeper;
+        # this instance pins the corrected behaviour.
+        t = backbone_tree(200, 150, rng=1)
+        rt, h, low, high, d = lca_setup(t)
+        deep = int(np.argmax(t.depths()))
+        shallow_kids = np.flatnonzero(t.depths() == 1)
+        eu = np.array([deep])
+        ev = np.array([int(shallow_kids[-1])])
+        got = all_edges_lca(rt, h, low, high, eu, ev, d)
+        assert got[0] == t.lca(eu, ev)[0]
+
+    @given(seed=st.integers(0, 300), n=st.integers(4, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_trees(self, seed, n):
+        rng = np.random.default_rng(seed)
+        parent = np.zeros(n, dtype=np.int64)
+        for i in range(1, n):
+            parent[i] = rng.integers(0, i)
+        t = RootedTree(parent=parent, root=0)
+        rt, h, low, high, d = lca_setup(t)
+        k = min(40, n * 2)
+        eu = rng.integers(0, n, k)
+        ev = rng.integers(0, n - 1, k)
+        ev = np.where(ev >= eu, ev + 1, ev)
+        assert np.array_equal(
+            all_edges_lca(rt, h, low, high, eu, ev, d), t.lca(eu, ev)
+        )
+
+
+class TestCompactClusterTree:
+    def test_bijection_and_parents(self):
+        t = tree_instance("random", 100, 1)
+        rt, h, low, high, d = lca_setup(t)
+        cl, cid, root_cid = compact_cluster_tree(rt, h)
+        assert len(np.unique(cl.col("cid"))) == len(cl)
+        assert cl.col("leader")[root_cid] == t.root
+        # parent cluster ids point at real rows
+        assert np.all(cl.col("pcid") >= 0)
+        assert np.all(cl.col("pcid") < len(cl))
+
+
+class TestSplitAtLCA:
+    def test_split_produces_ancestor_descendant(self):
+        t = tree_instance("random", 90, 2)
+        rt = LocalRuntime()
+        rng = np.random.default_rng(0)
+        eu = rng.integers(0, 90, 100)
+        ev = rng.integers(0, 89, 100)
+        ev = np.where(ev >= eu, ev + 1, ev)
+        ew = rng.uniform(0, 1, 100)
+        lca = t.lca(eu, ev)
+        halves = split_at_lca(rt, eu, ev, ew, lca)
+        assert np.all(t.is_ancestor(halves.hi, halves.lo))
+        assert np.all(halves.lo != halves.hi)
+
+    def test_weights_and_eids_preserved(self):
+        t = tree_instance("path", 20, 0)
+        rt = LocalRuntime()
+        eu = np.array([5, 10])
+        ev = np.array([15, 3])
+        ew = np.array([1.5, 2.5])
+        halves = split_at_lca(rt, eu, ev, ew, t.lca(eu, ev))
+        for e in (0, 1):
+            ws = halves.w[halves.eid == e]
+            assert np.all(ws == ew[e])
+
+    def test_endpoint_equal_to_lca_dropped(self):
+        # path: lca(3, 10) = 3, so the (3,3) half disappears
+        t = tree_instance("path", 12, 0)
+        rt = LocalRuntime()
+        halves = split_at_lca(rt, np.array([3]), np.array([10]),
+                              np.array([1.0]), t.lca(np.array([3]),
+                                                     np.array([10])))
+        assert len(halves) == 1
+        assert halves.lo[0] == 10 and halves.hi[0] == 3
+
+    def test_observation_220_pathmax_decomposition(self):
+        # max over the two halves == pathmax of the original edge
+        rng = np.random.default_rng(4)
+        t = tree_instance("random", 60, 4)
+        w = rng.uniform(0, 1, 60)
+        w[t.root] = 0.0
+        wt = RootedTree(parent=t.parent, root=t.root, weight=w)
+        rt = LocalRuntime()
+        eu = rng.integers(0, 60, 50)
+        ev = rng.integers(0, 59, 50)
+        ev = np.where(ev >= eu, ev + 1, ev)
+        lca = wt.lca(eu, ev)
+        halves = split_at_lca(rt, eu, ev, np.ones(50), lca)
+        half_pm = wt.path_max_to_ancestor(halves.lo, halves.hi)
+        full = np.full(50, -np.inf)
+        np.maximum.at(full, halves.eid, half_pm)
+        assert np.allclose(full, wt.path_max(eu, ev))

@@ -1,0 +1,56 @@
+"""MPCConfig deployment-sizing tests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mpc import MPCConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.2, 1.5])
+    def test_delta_range(self, delta):
+        with pytest.raises(ValidationError):
+            MPCConfig(delta=delta)
+
+    def test_capacity_constant_positive(self):
+        with pytest.raises(ValidationError):
+            MPCConfig(capacity_constant=0)
+
+    def test_min_machine_words_floor(self):
+        with pytest.raises(ValidationError):
+            MPCConfig(min_machine_words=4)
+
+    def test_global_slack_at_least_one(self):
+        with pytest.raises(ValidationError):
+            MPCConfig(global_slack=0.5)
+
+
+class TestSizing:
+    def test_capacity_is_sublinear(self):
+        c = MPCConfig(delta=0.5, min_machine_words=16 if False else 256)
+        s1 = c.machine_capacity(10_000)
+        s2 = c.machine_capacity(1_000_000)
+        # 100x more data -> only 10x more local memory at delta=0.5
+        assert s2 < 15 * s1
+
+    def test_capacity_floor_applies(self):
+        c = MPCConfig(min_machine_words=512)
+        assert c.machine_capacity(10) == 512
+
+    def test_machine_count_covers_global_slack(self):
+        c = MPCConfig()
+        n = 50_000
+        assert c.machine_count(n) * c.machine_capacity(n) >= c.global_slack * n
+
+    def test_global_budget_linear(self):
+        c = MPCConfig()
+        g1 = c.global_budget_words(10_000)
+        g2 = c.global_budget_words(20_000)
+        assert g2 <= 3 * g1  # linear up to rounding
+
+    def test_with_override(self):
+        c = MPCConfig().with_(delta=0.7)
+        assert c.delta == 0.7
+
+    def test_deterministic(self):
+        assert MPCConfig().machine_capacity(1000) == MPCConfig().machine_capacity(1000)

@@ -1,0 +1,108 @@
+"""Cost model, phase attribution, and memory accounting tests."""
+
+import pytest
+
+from repro.mpc import CostModel, CostTracker, MPCConfig, LocalRuntime, Table
+from repro.mpc.cost import PRIMITIVES
+
+
+class TestCostModel:
+    def test_unit_mode_charges_one(self):
+        m = CostModel(mode="unit")
+        for p in PRIMITIVES:
+            assert m.rounds_for(p) == 1
+
+    def test_theory_mode_scales_with_delta(self):
+        shallow = CostModel(mode="theory", delta=0.5)
+        deep = CostModel(mode="theory", delta=0.1)
+        assert deep.rounds_for("sort") > shallow.rounds_for("sort")
+
+    def test_theory_sort_is_ceil_inverse_delta(self):
+        m = CostModel(mode="theory", delta=0.25)
+        assert m.rounds_for("sort") == 4
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().rounds_for("teleport")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(mode="wishful").rounds_for("sort")
+
+
+class TestTracker:
+    def test_charge_accumulates(self):
+        t = CostTracker()
+        t.charge("sort")
+        t.charge("scan")
+        assert t.rounds_total == 2
+
+    def test_phase_attribution(self):
+        t = CostTracker()
+        t.push_phase("a")
+        t.charge("sort")
+        t.push_phase("b")
+        t.charge("scan")
+        t.charge("scan")
+        t.pop_phase("b")
+        t.pop_phase("a")
+        rep = t.report()
+        assert rep.rounds_by_phase["a"] == 1
+        assert rep.rounds_by_phase["a/b"] == 2
+        assert rep.rounds_in("a") == 3
+
+    def test_phase_stack_misuse_detected(self):
+        t = CostTracker()
+        t.push_phase("a")
+        with pytest.raises(ValueError):
+            t.pop_phase("b")
+
+    def test_phase_name_no_slash(self):
+        t = CostTracker()
+        with pytest.raises(ValueError):
+            t.push_phase("a/b")
+
+    def test_memory_peak_tracks_transients(self):
+        t = CostTracker()
+        t.charge("sort", words_touched=500)
+        t.charge("sort", words_touched=100)
+        assert t.peak_global_words == 500
+
+    def test_retained_memory_adds_to_peak(self):
+        t = CostTracker()
+        t.retain("paths", 1000)
+        t.charge("sort", words_touched=500)
+        assert t.peak_global_words == 1500
+        t.release("paths")
+        t.charge("sort", words_touched=200)
+        assert t.peak_global_words == 1500  # peak is sticky
+
+    def test_transport_rounds_independent(self):
+        t = CostTracker()
+        t.charge_transport_round(5)
+        assert t.report().transport_rounds == 5
+        assert t.rounds_total == 0
+
+
+class TestRuntimePhases:
+    def test_nested_phase_context(self):
+        rt = LocalRuntime()
+        with rt.phase("outer"):
+            rt.sort(Table(a=[2, 1]), ("a",))
+            with rt.phase("inner"):
+                rt.sort(Table(a=[2, 1]), ("a",))
+        rep = rt.report()
+        assert rep.rounds_in("outer") == 2
+        assert rep.rounds_by_phase["outer/inner"] == 1
+
+    def test_phase_exits_on_exception(self):
+        rt = LocalRuntime()
+        with pytest.raises(RuntimeError):
+            with rt.phase("x"):
+                raise RuntimeError("boom")
+        assert rt.tracker.current_phase == "<root>"
+
+    def test_theory_mode_propagates_from_config(self):
+        rt = LocalRuntime(MPCConfig(cost_mode="theory", delta=0.2))
+        rt.sort(Table(a=[2, 1]), ("a",))
+        assert rt.rounds == 5  # ceil(1/0.2)

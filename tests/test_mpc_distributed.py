@@ -1,0 +1,128 @@
+"""Message-level engine: protocol behaviour and model enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ValidationError
+from repro.mpc import DistributedRuntime, Fabric, MPCConfig, Table
+from repro.mpc.cost import CostTracker
+
+
+class TestFabric:
+    def test_delivery_order_deterministic(self):
+        f = Fabric(3, 1000, CostTracker())
+        out = [[(2, Table(x=[1]))], [(2, Table(x=[2]))], []]
+        inbox = f.exchange(out)
+        assert [t.col("x")[0] for t in inbox[2]] == [1, 2]
+
+    def test_send_cap_enforced(self):
+        f = Fabric(2, 10, CostTracker())
+        big = Table(x=np.arange(11))
+        with pytest.raises(CapacityError) as e:
+            f.exchange([[(1, big)], []])
+        assert e.value.machine == 0
+
+    def test_receive_cap_enforced(self):
+        f = Fabric(3, 10, CostTracker())
+        part = Table(x=np.arange(6))
+        with pytest.raises(CapacityError) as e:
+            f.exchange([[(2, part)], [(2, part)], []])
+        assert e.value.machine == 2
+
+    def test_bad_peer_rejected(self):
+        f = Fabric(2, 100, CostTracker())
+        with pytest.raises(ValidationError):
+            f.exchange([[(5, Table(x=[1]))], []])
+
+    def test_wrong_outbox_count(self):
+        f = Fabric(2, 100, CostTracker())
+        with pytest.raises(ValidationError):
+            f.exchange([[]])
+
+    def test_rounds_counted(self):
+        t = CostTracker()
+        f = Fabric(2, 100, t)
+        f.exchange([[], []])
+        f.exchange([[], []])
+        assert f.rounds_executed == 2
+        assert t.report().transport_rounds == 2
+
+
+class TestDeployment:
+    def test_m_le_s_required(self):
+        # tiny delta + big input would need more machines than local words
+        with pytest.raises(ValidationError):
+            DistributedRuntime(MPCConfig(delta=0.05, min_machine_words=16 + 240),
+                               total_words_hint=10_000_000)
+
+    def test_deployment_scales_with_hint(self):
+        small = DistributedRuntime(MPCConfig(delta=0.6), total_words_hint=1000)
+        big = DistributedRuntime(MPCConfig(delta=0.6), total_words_hint=100_000)
+        assert big.s >= small.s
+        assert big.m >= small.m
+
+    def test_oversized_table_rejected(self):
+        dr = DistributedRuntime(MPCConfig(delta=0.6), total_words_hint=500)
+        huge = Table(a=np.arange(100_000))
+        with pytest.raises(CapacityError):
+            dr.sort(huge, ("a",))
+
+
+class TestProtocols:
+    def setup_method(self):
+        self.dr = DistributedRuntime(MPCConfig(delta=0.6, seed=7),
+                                     total_words_hint=30_000)
+        self.rng = np.random.default_rng(3)
+
+    def test_sort_many_duplicates_balanced(self):
+        # constant keys exercise the tie-spreading router
+        t = Table(k=np.zeros(600, dtype=np.int64), g=np.arange(600))
+        s = self.dr.sort(t, ("k",))
+        assert s.col("g").tolist() == list(range(600))
+
+    def test_sort_reverse_input(self):
+        t = Table(k=np.arange(500)[::-1].copy())
+        s = self.dr.sort(t, ("k",))
+        assert np.array_equal(s.col("k"), np.arange(500))
+
+    def test_scan_spanning_machines(self):
+        n = 700
+        t = Table(k=np.repeat(np.arange(7), 100), v=np.ones(n, dtype=np.int64))
+        out = self.dr.scan(t, "v", "sum", by=("k",))
+        assert np.array_equal(out, np.tile(np.arange(1, 101), 7))
+
+    def test_scan_single_segment_spanning_all(self):
+        t = Table(v=np.ones(800, dtype=np.int64))
+        out = self.dr.scan(t, "v", "sum")
+        assert out[-1] == 800
+
+    def test_broadcast_tree_reaches_everyone(self):
+        payload = Table(x=np.arange(5))
+        got = self.dr._broadcast_tree(0, payload)
+        assert len(got) == self.dr.m
+        assert all(g.equals(payload) for g in got)
+
+    def test_broadcast_too_large_rejected(self):
+        payload = Table(x=np.arange(self.dr.s))
+        with pytest.raises(CapacityError):
+            self.dr._broadcast_tree(0, payload)
+
+    def test_rebalance_preserves_order(self):
+        t = Table(a=np.arange(300))
+        shards, cap = self.dr._scatter(t)
+        # skew: merge everything onto shard 0 manually is not possible via
+        # the API, so filter unevenly instead
+        out = self.dr.filter(t, t.col("a") % 3 == 0)
+        assert np.array_equal(out.col("a"), np.arange(0, 300, 3))
+
+    def test_transport_rounds_recorded(self):
+        t = Table(k=self.rng.integers(0, 50, 300))
+        before = self.dr.report().transport_rounds
+        self.dr.sort(t, ("k",))
+        assert self.dr.report().transport_rounds > before
+
+    def test_machine_peak_tracked(self):
+        t = Table(k=self.rng.integers(0, 50, 300))
+        self.dr.sort(t, ("k",))
+        rep = self.dr.report()
+        assert 0 < rep.peak_machine_words <= self.dr.s

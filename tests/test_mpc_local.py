@@ -1,0 +1,223 @@
+"""LocalRuntime primitive semantics against direct NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KeyPackingError, ProtocolError, ValidationError
+from repro.mpc import LocalRuntime, Table
+from repro.mpc.runtime import pack_columns, pack_pair
+
+
+class TestSort:
+    def test_single_key(self, rt):
+        t = Table(a=[3, 1, 2], b=[0.3, 0.1, 0.2])
+        s = rt.sort(t, ("a",))
+        assert s.col("a").tolist() == [1, 2, 3]
+        assert s.col("b").tolist() == [0.1, 0.2, 0.3]
+
+    def test_multi_key_lexicographic(self, rt):
+        t = Table(a=[1, 0, 1, 0], b=[0, 1, 1, 0])
+        s = rt.sort(t, ("a", "b"))
+        assert list(zip(s.col("a"), s.col("b"))) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_stability(self, rt):
+        t = Table(k=[1, 1, 1], tag=[10, 20, 30])
+        s = rt.sort(t, ("k",))
+        assert s.col("tag").tolist() == [10, 20, 30]
+
+    def test_negative_keys(self, rt):
+        t = Table(a=[-5, 3, -10])
+        assert rt.sort(t, ("a",)).col("a").tolist() == [-10, -5, 3]
+
+    def test_empty(self, rt):
+        t = Table(a=np.empty(0, dtype=np.int64))
+        assert len(rt.sort(t, ("a",))) == 0
+
+    def test_charges_one_round(self, rt):
+        rt.sort(Table(a=[1]), ("a",))
+        assert rt.rounds == 1
+
+    def test_float_key_rejected(self, rt):
+        with pytest.raises(KeyPackingError):
+            rt.sort(Table(a=[1.5]), ("a",))
+
+
+class TestPacking:
+    def test_order_preserved(self):
+        t = Table(a=[2, 1, 1, 2], b=[1, 9, 2, 0])
+        packed = pack_columns(t, ("a", "b"))
+        order = np.argsort(packed, kind="stable")
+        rows = list(zip(t.col("a")[order], t.col("b")[order]))
+        assert rows == sorted(rows)
+
+    def test_overflow_detected(self):
+        big = np.array([0, 2**40], dtype=np.int64)
+        t = Table(a=big, b=big, c=big)
+        with pytest.raises(KeyPackingError):
+            pack_columns(t, ("a", "b", "c"))
+
+    def test_pair_packing_consistent_across_tables(self):
+        left = Table(a=[5, 6], b=[1, 2])
+        right = Table(x=[6, 0], y=[2, 0])  # wider range on purpose
+        lk, rk = pack_pair(left, ("a", "b"), right, ("x", "y"))
+        assert lk[1] == rk[0]  # (6,2) packs identically in both tables
+
+    def test_pair_arity_mismatch(self):
+        with pytest.raises(ValidationError):
+            pack_pair(Table(a=[1]), ("a",), Table(x=[1], y=[1]), ("x", "y"))
+
+
+class TestScan:
+    def test_plain_cumsum(self, rt):
+        out = rt.scan(Table(v=[1.0, 2.0, 3.0]), "v", "sum")
+        assert out.tolist() == [1.0, 3.0, 6.0]
+
+    def test_segmented_max(self, rt):
+        t = Table(k=[0, 0, 1, 1], v=[2.0, 1.0, 5.0, 9.0])
+        out = rt.scan(t, "v", "max", by=("k",))
+        assert out.tolist() == [2.0, 2.0, 5.0, 9.0]
+
+    def test_exclusive_sum_identity_at_starts(self, rt):
+        t = Table(k=[0, 0, 1], v=[4, 5, 6])
+        out = rt.scan(t, "v", "sum", by=("k",), exclusive=True)
+        assert out.tolist() == [0, 4, 0]
+
+    def test_invalid_op(self, rt):
+        with pytest.raises(ProtocolError):
+            rt.scan(Table(v=[1.0]), "v", "avg")
+
+
+class TestLookup:
+    def test_hit_and_miss(self, rt):
+        q = Table(k=[5, 7, 5])
+        d = Table(k=[5, 6], val=[50.0, 60.0])
+        out = rt.lookup(q, ("k",), d, ("k",), {"v": "val"}, default={"v": -1.0})
+        assert out.col("v").tolist() == [50.0, -1.0, 50.0]
+
+    def test_preserves_query_order_and_columns(self, rt):
+        q = Table(k=[2, 1], tag=[7, 8])
+        d = Table(k=[1, 2], val=[10, 20])
+        out = rt.lookup(q, ("k",), d, ("k",), {"v": "val"})
+        assert out.col("tag").tolist() == [7, 8]
+        assert out.col("v").tolist() == [20, 10]
+
+    def test_duplicate_data_keys_rejected(self, rt):
+        with pytest.raises(ProtocolError):
+            rt.lookup(Table(k=[1]), ("k",), Table(k=[1, 1], v=[1, 2]),
+                      ("k",), {"v": "v"})
+
+    def test_miss_without_default_raises(self, rt):
+        with pytest.raises(ProtocolError):
+            rt.lookup(Table(k=[9]), ("k",), Table(k=[1], v=[1]), ("k",),
+                      {"v": "v"})
+
+    def test_multi_column_key(self, rt):
+        q = Table(a=[1, 2], b=[1, 2])
+        d = Table(a=[1, 2], b=[1, 2], v=[11.0, 22.0])
+        out = rt.lookup(q, ("a", "b"), d, ("a", "b"), {"v": "v"})
+        assert out.col("v").tolist() == [11.0, 22.0]
+
+    def test_empty_data_all_defaults(self, rt):
+        q = Table(k=[1, 2])
+        d = Table(k=np.empty(0, np.int64), v=np.empty(0, np.float64))
+        out = rt.lookup(q, ("k",), d, ("k",), {"v": "v"}, default={"v": 0.0})
+        assert out.col("v").tolist() == [0.0, 0.0]
+
+    def test_int_payload_with_inf_default_becomes_float(self, rt):
+        q = Table(k=[9])
+        d = Table(k=[1], v=[5])
+        out = rt.lookup(q, ("k",), d, ("k",), {"v": "v"},
+                        default={"v": np.inf})
+        assert out.col("v")[0] == np.inf
+
+
+class TestPredecessor:
+    def test_basic(self, rt):
+        q = Table(k=[0, 5, 10, 35])
+        d = Table(k=[3, 7, 30], v=[1.0, 2.0, 3.0])
+        out = rt.predecessor(q, "k", d, "k", {"v": "v"}, {"v": -9.0})
+        assert out.col("v").tolist() == [-9.0, 1.0, 2.0, 3.0]
+
+    def test_ties_take_last_input_row(self, rt):
+        q = Table(k=[5])
+        d = Table(k=[5, 5], v=[1.0, 2.0])
+        out = rt.predecessor(q, "k", d, "k", {"v": "v"}, {"v": 0.0})
+        assert out.col("v")[0] == 2.0
+
+    def test_float_key_rejected(self, rt):
+        with pytest.raises(ValidationError):
+            rt.predecessor(Table(k=[1.0]), "k", Table(k=[1], v=[1]),
+                           "k", {"v": "v"}, {"v": 0})
+
+
+class TestReduce:
+    def test_grouped_aggregates(self, rt):
+        t = Table(k=[2, 1, 2, 1], v=[1.0, 5.0, 3.0, 2.0])
+        out = rt.reduce_by_key(t, ("k",), {"mx": ("v", "max"),
+                                           "mn": ("v", "min"),
+                                           "sm": ("v", "sum")})
+        assert out.col("k").tolist() == [1, 2]
+        assert out.col("mx").tolist() == [5.0, 3.0]
+        assert out.col("mn").tolist() == [2.0, 1.0]
+        assert out.col("sm").tolist() == [7.0, 4.0]
+
+    def test_multi_key(self, rt):
+        t = Table(a=[0, 0, 1], b=[0, 0, 1], v=[1, 2, 3])
+        out = rt.reduce_by_key(t, ("a", "b"), {"s": ("v", "sum")})
+        assert len(out) == 2
+
+    def test_empty(self, rt):
+        t = Table(k=np.empty(0, np.int64), v=np.empty(0, np.float64))
+        out = rt.reduce_by_key(t, ("k",), {"s": ("v", "sum")})
+        assert len(out) == 0
+
+    def test_unique_keys_helper(self, rt):
+        t = Table(k=[3, 1, 3, 1, 1])
+        u = rt.unique_keys(t, ("k",))
+        assert u.col("k").tolist() == [1, 3]
+
+
+class TestScalarFilterCount:
+    def test_scalar_ops(self, rt):
+        t = Table(v=[1.0, 5.0, 3.0])
+        assert rt.scalar(t, "v", "max") == 5.0
+        assert rt.scalar(t, "v", "min") == 1.0
+        assert rt.scalar(t, "v", "sum") == 9.0
+
+    def test_scalar_empty_identities(self, rt):
+        t = Table(v=np.empty(0, np.float64))
+        assert rt.scalar(t, "v", "sum") == 0.0
+        assert rt.scalar(t, "v", "max") == -np.inf
+
+    def test_scalar_int_returns_int(self, rt):
+        assert rt.scalar(Table(v=[1, 2]), "v", "sum") == 3
+
+    def test_filter(self, rt):
+        t = Table(v=[1, 2, 3, 4])
+        out = rt.filter(t, t.col("v") % 2 == 0)
+        assert out.col("v").tolist() == [2, 4]
+
+    def test_count(self, rt):
+        assert rt.count(Table(v=[1, 2, 3])) == 3
+        assert rt.count(Table(v=np.empty(0, np.int64))) == 0
+
+
+class TestExpandJoin:
+    def test_one_to_many(self, rt):
+        q = Table(k=[1, 2, 3], qid=[0, 1, 2])
+        d = Table(k=[1, 1, 2], val=[10.0, 11.0, 20.0])
+        out = rt.expand_join(q, ("k",), d, ("k",), {"v": "val"},
+                             carry=("qid",))
+        rows = sorted(zip(out.col("qid"), out.col("v")))
+        assert rows == [(0, 10.0), (0, 11.0), (1, 20.0)]
+
+    def test_no_matches_empty(self, rt):
+        q = Table(k=[9])
+        d = Table(k=[1], val=[1.0])
+        out = rt.expand_join(q, ("k",), d, ("k",), {"v": "val"}, carry=())
+        assert len(out) == 0
+
+    def test_empty_inputs(self, rt):
+        q = Table(k=np.empty(0, np.int64))
+        d = Table(k=[1], val=[1.0])
+        assert len(rt.expand_join(q, ("k",), d, ("k",), {"v": "val"})) == 0

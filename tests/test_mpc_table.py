@@ -1,0 +1,134 @@
+"""Unit tests for the columnar Table record container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mpc import Table
+
+
+class TestConstruction:
+    def test_from_kwargs(self):
+        t = Table(a=[1, 2, 3], b=[1.0, 2.0, 3.0])
+        assert len(t) == 3
+        assert set(t.columns) == {"a", "b"}
+
+    def test_from_mapping(self):
+        t = Table({"x": np.arange(4)})
+        assert len(t) == 4
+
+    def test_empty_no_columns(self):
+        t = Table()
+        assert len(t) == 0
+        assert t.words == 0
+
+    def test_empty_with_schema(self):
+        t = Table.empty({"a": np.int64, "w": np.float64})
+        assert len(t) == 0
+        assert t.col("a").dtype == np.int64
+        assert t.col("w").dtype == np.float64
+
+    def test_int_columns_normalised_to_int64(self):
+        t = Table(a=np.array([1, 2], dtype=np.int32))
+        assert t.col("a").dtype == np.int64
+
+    def test_float_columns_normalised_to_float64(self):
+        t = Table(a=np.array([1, 2], dtype=np.float32))
+        assert t.col("a").dtype == np.float64
+
+    def test_bool_column_allowed(self):
+        t = Table(a=np.array([True, False]))
+        assert t.col("a").dtype == np.bool_
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Table(a=[1, 2], b=[1])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            Table(a=np.zeros((2, 2)))
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(ValidationError):
+            Table(a=np.array(["x", "y"]))
+
+
+class TestAlgebra:
+    def setup_method(self):
+        self.t = Table(a=[3, 1, 2], b=[30.0, 10.0, 20.0])
+
+    def test_select(self):
+        s = self.t.select(["a"])
+        assert s.columns == ("a",)
+
+    def test_select_missing_raises(self):
+        with pytest.raises(ValidationError):
+            self.t.select(["zz"])
+
+    def test_drop(self):
+        assert self.t.drop("b").columns == ("a",)
+
+    def test_rename(self):
+        r = self.t.rename({"a": "x"})
+        assert "x" in r and "a" not in r
+
+    def test_with_cols_adds(self):
+        t2 = self.t.with_cols(c=[1, 2, 3])
+        assert np.array_equal(t2.col("c"), [1, 2, 3])
+
+    def test_with_cols_replaces(self):
+        t2 = self.t.with_cols(a=[9, 9, 9])
+        assert np.array_equal(t2.col("a"), [9, 9, 9])
+
+    def test_with_cols_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            self.t.with_cols(c=[1])
+
+    def test_take(self):
+        t2 = self.t.take(np.array([2, 0]))
+        assert np.array_equal(t2.col("a"), [2, 3])
+
+    def test_mask(self):
+        t2 = self.t.mask(self.t.col("a") >= 2)
+        assert np.array_equal(sorted(t2.col("a")), [2, 3])
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            self.t.mask(np.array([True]))
+
+    def test_head(self):
+        assert len(self.t.head(2)) == 2
+
+    def test_concat(self):
+        c = Table.concat([self.t, self.t])
+        assert len(c) == 6
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(ValidationError):
+            Table.concat([self.t, Table(a=[1])])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ValidationError):
+            Table.concat([])
+
+    def test_words(self):
+        assert self.t.words == 3 * 2
+
+    def test_equals(self):
+        assert self.t.equals(Table(a=[3, 1, 2], b=[30.0, 10.0, 20.0]))
+        assert not self.t.equals(Table(a=[3, 1, 2], b=[30.0, 10.0, 21.0]))
+
+    def test_to_records(self):
+        recs = self.t.to_records()
+        assert recs[0] == {"a": 3, "b": 30.0}
+
+    def test_iteration_yields_column_names(self):
+        assert sorted(self.t) == ["a", "b"]
+
+    def test_contains(self):
+        assert "a" in self.t and "zz" not in self.t
+
+    def test_original_arrays_not_aliased_on_take(self):
+        t2 = self.t.take(np.array([0, 1, 2]))
+        t2.col("a")[0] = 99
+        assert self.t.col("a")[0] == 3

@@ -1,0 +1,100 @@
+"""Root-to-leaf notes (Definition 4.4) and the sensitivity contraction
+invariant (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adgraph import split_at_lca
+from repro.core.contraction_sens import run_sensitivity_contraction
+from repro.core.hierarchy import build_hierarchy
+from repro.core.notes import NoteSet, empty_notes
+from repro.graph.generators import known_mst_instance, tree_instance
+from repro.graph.tree import RootedTree
+from repro.mpc import LocalRuntime, Table
+
+
+class TestNoteSet:
+    def test_zero_length_notes_dropped(self, rt):
+        ns = NoteSet()
+        ns.add(rt, Table(r=[5, 6], bottom=[5, 7], lvl=[1, 1],
+                         w=[1.0, 2.0]))
+        assert len(ns) == 1
+
+    def test_dedupe_keeps_min_weight(self, rt):
+        ns = NoteSet()
+        ns.add(rt, Table(r=[1, 1, 1], bottom=[2, 2, 3], lvl=[4, 4, 4],
+                         w=[9.0, 3.0, 5.0]))
+        recs = {(x["r"], x["bottom"], x["lvl"]): x["w"]
+                for x in ns.table.to_records()}
+        assert recs[(1, 2, 4)] == 3.0
+        assert recs[(1, 3, 4)] == 5.0
+
+    def test_take_level_partitions(self, rt):
+        ns = NoteSet()
+        ns.add(rt, Table(r=[1, 2], bottom=[3, 4], lvl=[1, 2],
+                         w=[1.0, 1.0]))
+        lv1 = ns.take_level(rt, 1)
+        assert len(lv1) == 1 and len(ns) == 1
+        assert lv1.col("lvl")[0] == 1
+
+    def test_peak_tracked(self, rt):
+        ns = NoteSet()
+        ns.add(rt, Table(r=[1, 1], bottom=[2, 2], lvl=[1, 1],
+                         w=[2.0, 1.0]))
+        assert ns.peak >= 2  # before dedupe
+
+    def test_empty_schema(self):
+        t = empty_notes()
+        assert set(t.columns) == {"r", "bottom", "lvl", "w"}
+
+
+def run_contraction(shape, n, extra, seed):
+    g, tree = known_mst_instance(shape, n, extra_m=extra, rng=seed)
+    rt = LocalRuntime()
+    _, low, high = tree.euler_intervals()
+    d = max(1, tree.diameter())
+    h = build_hierarchy(rt, tree.parent, tree.weight, tree.root, low, high, d)
+    nu, nv, nw = g.nontree_edges()
+    lca = tree.lca(nu, nv) if len(nu) else np.empty(0, np.int64)
+    halves = split_at_lca(rt, nu, nv, nw, lca)
+    state = run_sensitivity_contraction(rt, h, halves, low, high)
+    return tree, h, state
+
+
+class TestContractionInvariant:
+    @pytest.mark.parametrize("shape", ["path", "binary", "caterpillar",
+                                       "random"])
+    def test_live_edges_maintain_invariant(self, shape):
+        tree, h, state = run_contraction(shape, 90, 180, 3)
+        leader = state.leader
+        edges = state.edges
+        _, low, high = tree.euler_intervals()
+        for lo, hi in zip(edges.col("lo"), edges.col("hi")):
+            # invariant: lo is the leader (root) of its final cluster
+            assert leader[lo] == lo
+            # hi is an ancestor of lo and in a different cluster
+            assert low[hi] <= low[lo] <= high[hi]
+            assert leader[hi] != leader[lo]
+
+    @pytest.mark.parametrize("shape", ["path", "random"])
+    def test_note_count_linear(self, shape):
+        tree, h, state = run_contraction(shape, 300, 600, 5)
+        assert state.notes.peak <= 6 * tree.n  # Lemma 4.6
+
+    def test_notes_reference_real_versions(self):
+        tree, h, state = run_contraction("random", 120, 240, 7)
+        formed_levels = {}
+        for lv in h.levels:
+            for s in np.unique(lv.senior):
+                formed_levels.setdefault(int(s), set()).add(lv.level)
+        for rec in state.notes.table.to_records():
+            # each note's (r, lvl) must name a level where r grew
+            assert rec["lvl"] in formed_levels.get(rec["r"], set()), rec
+
+    def test_note_paths_are_root_to_descendant(self):
+        tree, h, state = run_contraction("caterpillar", 100, 200, 9)
+        _, low, high = tree.euler_intervals()
+        for rec in state.notes.table.to_records():
+            r, bottom = rec["r"], rec["bottom"]
+            assert low[r] <= low[bottom] <= high[r]
+            assert r != bottom

@@ -1,0 +1,80 @@
+"""Result-object API and public package surface tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.results import SensitivityResult, VerificationResult
+from repro.graph.generators import known_mst_instance
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_top_level_verify_roundtrip(self):
+        g, _ = known_mst_instance("random", 60, extra_m=100, rng=1)
+        assert repro.verify_mst(g).is_mst
+        s = repro.mst_sensitivity(g)
+        assert len(s.sensitivity) == g.m
+
+    def test_make_runtime_names(self):
+        from repro import make_runtime
+        from repro.mpc import DistributedRuntime, LocalRuntime
+
+        assert isinstance(make_runtime("local"), LocalRuntime)
+        assert isinstance(make_runtime("distributed"), DistributedRuntime)
+        with pytest.raises(ValueError):
+            make_runtime("quantum")
+
+
+class TestVerificationResult:
+    def setup_method(self):
+        g, _ = known_mst_instance("binary", 63, extra_m=120, rng=2)
+        self.g = g
+        self.r = repro.verify_mst(g)
+
+    def test_truthiness(self):
+        assert bool(self.r) is True
+
+    def test_round_split_consistent(self):
+        assert self.r.core_rounds > 0
+        assert self.r.substrate_rounds > 0
+        assert self.r.core_rounds + self.r.substrate_rounds <= self.r.rounds
+
+    def test_pathmax_aligned_with_nontree_index(self):
+        assert len(self.r.pathmax) == len(self.r.nontree_index)
+        assert np.all(~self.g.tree_mask[self.r.nontree_index])
+
+    def test_report_phase_listing(self):
+        assert "core/clustering" in self.r.report.phases()
+        rows = self.r.report.as_rows()
+        assert rows == sorted(rows)
+
+    def test_primitives_counted(self):
+        prims = self.r.report.primitives_by_phase
+        total_sorts = sum(c.get("sort", 0) for c in prims.values())
+        assert total_sorts > 0
+
+
+class TestSensitivityResult:
+    def setup_method(self):
+        g, _ = known_mst_instance("caterpillar", 90, extra_m=180, rng=3)
+        self.g = g
+        self.r = repro.mst_sensitivity(g)
+
+    def test_index_partition(self):
+        both = np.sort(np.concatenate([self.r.tree_index,
+                                       self.r.nontree_index]))
+        assert np.array_equal(both, np.arange(self.g.m))
+
+    def test_mc_per_vertex(self):
+        assert len(self.r.mc) == self.g.n
+        assert np.isinf(self.r.mc[0])  # root parent edge has no cover
+
+    def test_core_rounds_property(self):
+        assert 0 < self.r.core_rounds <= self.r.rounds

@@ -1,0 +1,130 @@
+"""The paper's complexity claims, asserted as tests.
+
+* Theorem 3.1/4.1: the core phases' rounds grow like ``log D_T``
+  (flat in ``n`` at fixed diameter, logarithmic in ``D_T`` at fixed n);
+* optimal utilisation: peak global memory stays linear in ``m + n``;
+* §3 strawman: the naive path-collection verifier needs ``Θ(n·D_T)``
+  words, diverging from the pipeline as ``D_T`` grows;
+* Theorem 5.2: on the 1-vs-2-cycle family, rounds grow with
+  ``log D_T = Θ(log n)`` even though the *graph* diameter is 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import diameter_sweep_instances, fit_log, growth_ratio
+from repro.baselines import naive_verify_mst
+from repro.core.sensitivity import mst_sensitivity
+from repro.core.verification import verify_mst
+from repro.graph.generators import (
+    attach_nontree_edges,
+    backbone_tree,
+    one_vs_two_cycles_instance,
+)
+from repro.mpc import LocalRuntime
+
+DIAMS = [4, 16, 64, 256]
+N = 600
+
+
+def core_rounds_for(d, what="verify"):
+    tree = backbone_tree(N, d, rng=d)
+    g = attach_nontree_edges(tree, 2 * N, rng=d + 1, mode="mst")
+    if what == "verify":
+        return verify_mst(g, oracle_labels=True).core_rounds
+    return mst_sensitivity(g, oracle_labels=True).core_rounds
+
+
+class TestLogDiameterScaling:
+    def test_verification_rounds_logarithmic_in_diameter(self):
+        rounds = [core_rounds_for(d) for d in DIAMS]
+        assert rounds == sorted(rounds)
+        fit = fit_log(DIAMS, rounds)
+        assert fit.r2 > 0.9, f"poor log fit: {fit}"
+        # doubling D adds a bounded number of rounds (log, not poly)
+        assert growth_ratio(DIAMS, rounds) < 80
+
+    def test_sensitivity_rounds_logarithmic_in_diameter(self):
+        rounds = [core_rounds_for(d, "sens") for d in DIAMS]
+        assert rounds == sorted(rounds)
+        fit = fit_log(DIAMS, rounds)
+        assert fit.r2 > 0.9
+
+    def test_rounds_flat_in_n_at_fixed_diameter(self):
+        d = 16
+        rounds = []
+        for n in (200, 400, 800, 1600):
+            tree = backbone_tree(n, d, rng=7)
+            g = attach_nontree_edges(tree, 2 * n, rng=8, mode="mst")
+            rounds.append(verify_mst(g, oracle_labels=True).core_rounds)
+        # quadrupling n while D_T is fixed must not grow rounds much:
+        # the only n-dependence is the clustering running slightly longer
+        assert max(rounds) - min(rounds) <= 0.5 * min(rounds)
+
+    def test_sensitivity_constant_factor_over_verification(self):
+        tree = backbone_tree(400, 64, rng=1)
+        g = attach_nontree_edges(tree, 800, rng=2, mode="mst")
+        v = verify_mst(g, oracle_labels=True).core_rounds
+        s = mst_sensitivity(g, oracle_labels=True).core_rounds
+        assert v < s <= 5 * v
+
+
+class TestLinearMemory:
+    @pytest.mark.parametrize("d", [8, 128])
+    def test_pipeline_memory_linear(self, d):
+        tree = backbone_tree(800, d, rng=3)
+        g = attach_nontree_edges(tree, 1600, rng=4, mode="mst")
+        r = verify_mst(g, oracle_labels=True)
+        assert r.report.peak_global_words <= 30 * g.total_words()
+
+    def test_naive_memory_blows_up_with_diameter(self):
+        n = 500
+        peaks = []
+        for d in (8, 64, 400):
+            tree = backbone_tree(n, d, rng=5)
+            g = attach_nontree_edges(tree, n, rng=6, mode="mst")
+            rt = LocalRuntime()
+            res = naive_verify_mst(rt, g)
+            assert res.is_mst
+            peaks.append(res.peak_words)
+        # superlinear growth in D (Θ(n·D) path storage)
+        assert peaks[2] > 6 * peaks[0]
+
+    def test_pipeline_beats_naive_at_large_diameter(self):
+        n = 500
+        tree = backbone_tree(n, 400, rng=7)
+        g = attach_nontree_edges(tree, n, rng=8, mode="mst")
+        rt = LocalRuntime()
+        naive = naive_verify_mst(rt, g)
+        real = verify_mst(g, oracle_labels=True)
+        assert real.report.peak_global_words < naive.peak_words / 3
+
+
+class TestLowerBoundFamily:
+    def test_rounds_grow_despite_constant_graph_diameter(self):
+        sizes = [32, 128, 512]
+        rounds = []
+        for n in sizes:
+            g, _ = one_vs_two_cycles_instance(n, two_cycles=False, rng=n)
+            rounds.append(verify_mst(g, oracle_labels=True).rounds)
+        assert rounds == sorted(rounds)
+        assert rounds[-1] > rounds[0]
+        fit = fit_log(sizes, rounds)
+        assert fit.r2 > 0.85
+
+    def test_two_cycle_side_detected_at_every_size(self):
+        for n in (32, 128, 512):
+            g, _ = one_vs_two_cycles_instance(n, two_cycles=True, rng=n)
+            assert not verify_mst(g, oracle_labels=True).is_mst
+
+
+class TestClusterDecay:
+    def test_cluster_counts_reach_target_in_log_steps(self):
+        for d in (8, 64):
+            tree = backbone_tree(1000, d, rng=9)
+            g = attach_nontree_edges(tree, 1000, rng=10, mode="mst")
+            r = verify_mst(g, oracle_labels=True)
+            counts = r.cluster_counts
+            steps = len(counts) - 1
+            assert counts[-1] <= max(1, 1000 // d)
+            assert steps <= 14 * int(np.log2(2 * d) + 1)

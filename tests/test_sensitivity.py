@@ -1,0 +1,165 @@
+"""End-to-end MST sensitivity (Theorem 4.1) tests against the oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import sequential_sensitivity
+from repro.core.sensitivity import mst_sensitivity
+from repro.errors import ValidationError
+from repro.graph.generators import (
+    attach_nontree_edges,
+    backbone_tree,
+    known_mst_instance,
+    perturb_break_mst,
+    tree_instance,
+)
+from repro.graph.graph import WeightedGraph
+
+SHAPES = ["path", "star", "binary", "ternary", "caterpillar", "random"]
+
+
+def check(g, **kw):
+    r = mst_sensitivity(g, **kw)
+    o = sequential_sensitivity(g)
+    np.testing.assert_allclose(r.sensitivity, o.sensitivity)
+    return r, o
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_all_shapes(self, shape, seed):
+        g, _ = known_mst_instance(shape, 110, extra_m=250, rng=seed * 17)
+        check(g)
+
+    @pytest.mark.parametrize("shape", ["path", "random"])
+    def test_with_ties(self, shape):
+        g, _ = known_mst_instance(shape, 90, extra_m=200, rng=5,
+                                  mode="tight")
+        check(g)
+
+    @pytest.mark.parametrize("d", [2, 8, 40, 149])
+    def test_diameter_sweep(self, d):
+        t = backbone_tree(150, d, rng=d)
+        g = attach_nontree_edges(t, 300, rng=d + 1, mode="mst")
+        check(g)
+
+    def test_dense_cover(self):
+        g, _ = known_mst_instance("random", 60, extra_m=800, rng=3)
+        check(g)
+
+    def test_sparse_cover_bridges(self):
+        g, _ = known_mst_instance("random", 120, extra_m=4, rng=4)
+        r, o = check(g)
+        # most tree edges are bridges: infinite sensitivity
+        tree_sens = r.sensitivity[r.tree_index]
+        assert np.isinf(tree_sens).sum() > 60
+
+    @given(seed=st.integers(0, 1000), n=st.integers(6, 70))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_instances(self, seed, n):
+        g, _ = known_mst_instance("random", n, extra_m=2 * n, rng=seed)
+        check(g)
+
+
+class TestSemantics:
+    def test_tree_sensitivities_nonnegative(self):
+        g, _ = known_mst_instance("binary", 127, extra_m=250, rng=6)
+        r = mst_sensitivity(g)
+        assert np.all(r.sensitivity[r.tree_index] >= 0)
+        assert np.all(r.sensitivity[r.nontree_index] >= 0)
+
+    def test_mc_bounds_are_achieved_by_real_edges(self):
+        g, _ = known_mst_instance("random", 60, extra_m=150, rng=7)
+        r = mst_sensitivity(g)
+        nw = set(np.round(g.w[r.nontree_index], 12).tolist())
+        finite = np.isfinite(r.mc)
+        for v in np.flatnonzero(finite):
+            assert round(float(r.mc[v]), 12) in nw
+
+    def test_increasing_tree_edge_below_sens_keeps_mst(self):
+        g, _ = known_mst_instance("random", 50, extra_m=120, rng=8)
+        r = mst_sensitivity(g)
+        from repro.baselines import verify_by_recompute
+
+        t_idx = r.tree_index
+        fin = t_idx[np.isfinite(r.sensitivity[t_idx])]
+        if len(fin) == 0:
+            pytest.skip("no finite tree sensitivities")
+        e = int(fin[0])
+        eps = r.sensitivity[e] * 0.5
+        w2 = g.w.copy()
+        w2[e] += eps
+        assert verify_by_recompute(g.with_weights(w2))
+        # pushing well beyond the sensitivity breaks the MST (margin
+        # must exceed the recompute oracle's isclose tolerance)
+        w3 = g.w.copy()
+        w3[e] += r.sensitivity[e] + 0.5
+        assert not verify_by_recompute(g.with_weights(w3))
+
+    def test_decreasing_nontree_edge_beyond_sens_breaks_mst(self):
+        g, _ = known_mst_instance("random", 50, extra_m=120, rng=9)
+        r = mst_sensitivity(g)
+        from repro.baselines import verify_by_recompute
+
+        e = int(r.nontree_index[0])
+        w2 = g.w.copy()
+        w2[e] -= r.sensitivity[e] + 0.5
+        assert not verify_by_recompute(g.with_weights(w2))
+
+    def test_non_mst_input_rejected(self):
+        g, _ = known_mst_instance("random", 60, extra_m=120, rng=10)
+        bad = perturb_break_mst(g, rng=11)
+        with pytest.raises(ValidationError):
+            mst_sensitivity(bad)
+
+    def test_non_spanning_input_rejected(self):
+        g = WeightedGraph.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 1.0)], tree_edges=[(0, 1)]
+        )
+        with pytest.raises(ValidationError):
+            mst_sensitivity(g)
+
+    def test_require_mst_false_allows_spanning_non_mst(self):
+        g, _ = known_mst_instance("random", 40, extra_m=80, rng=12)
+        bad = perturb_break_mst(g, rng=13)
+        r = mst_sensitivity(bad, require_mst=False)
+        # covering weights still match the oracle's mc computation
+        o = sequential_sensitivity(bad)
+        np.testing.assert_allclose(r.mc, o.mc)
+
+
+class TestModesAndReporting:
+    def test_oracle_labels_same_result(self):
+        g, _ = known_mst_instance("caterpillar", 80, extra_m=160, rng=14)
+        a = mst_sensitivity(g)
+        b = mst_sensitivity(g, oracle_labels=True)
+        np.testing.assert_allclose(a.sensitivity, b.sensitivity)
+        assert b.rounds < a.rounds
+
+    def test_notes_peak_linear(self):
+        g, _ = known_mst_instance("path", 400, extra_m=800, rng=15)
+        r = mst_sensitivity(g)
+        assert 0 < r.notes_peak <= 6 * g.n  # Claim 4.13: O(n)
+
+    def test_sens_phases_reported(self):
+        g, _ = known_mst_instance("random", 70, extra_m=140, rng=16)
+        r = mst_sensitivity(g)
+        phases = set(r.report.rounds_by_phase)
+        assert any("sens-contract" in p for p in phases)
+        assert any("sens-cluster" in p for p in phases)
+        assert any("sens-unwind" in p for p in phases)
+
+    def test_nonzero_root(self):
+        g, _ = known_mst_instance("random", 60, extra_m=130, rng=17)
+        r = mst_sensitivity(g, root=25)
+        o = sequential_sensitivity(g, root=25)
+        np.testing.assert_allclose(r.sensitivity, o.sensitivity)
+
+    def test_star_no_notes_needed(self):
+        g, _ = known_mst_instance("star", 100, extra_m=200, rng=18)
+        r, _ = check(g)
+        # depth-1 tree: every tree edge is handled at the cluster level
+        assert r.notes_peak <= g.n

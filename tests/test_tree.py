@@ -1,0 +1,179 @@
+"""Sequential RootedTree oracle tests — cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotATreeError, ValidationError
+from repro.graph.generators import tree_instance
+from repro.graph.tree import RootedTree, build_adjacency
+
+
+def random_parents(n, seed):
+    rng = np.random.default_rng(seed)
+    parent = np.zeros(n, dtype=np.int64)
+    for i in range(1, n):
+        parent[i] = rng.integers(0, i)
+    return parent
+
+
+def to_nx(tree: RootedTree) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(tree.n))
+    for v in range(tree.n):
+        if v != tree.root:
+            g.add_edge(v, int(tree.parent[v]))
+    return g
+
+
+class TestConstruction:
+    def test_root_must_self_parent(self):
+        with pytest.raises(NotATreeError):
+            RootedTree(parent=np.array([1, 1]), root=0)
+
+    def test_cycle_detected(self):
+        with pytest.raises(NotATreeError):
+            RootedTree(parent=np.array([0, 2, 1]), root=0)
+
+    def test_from_edges_roundtrip(self):
+        parent = random_parents(40, 3)
+        t = RootedTree(parent=parent, root=0)
+        child, par, w = t.edge_arrays()
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(len(child))
+        t2 = RootedTree.from_edges(40, child[perm], par[perm], root=0)
+        assert np.array_equal(t2.parent, parent)
+
+    def test_from_edges_wrong_count(self):
+        with pytest.raises(NotATreeError):
+            RootedTree.from_edges(3, np.array([0]), np.array([1]))
+
+    def test_from_edges_disconnected(self):
+        with pytest.raises(NotATreeError):
+            RootedTree.from_edges(4, np.array([0, 2, 0]),
+                                  np.array([1, 3, 1]))
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            RootedTree(parent=np.array([0, 0]), root=0,
+                       weight=np.array([1.0]))
+
+
+class TestQuantities:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_depths_match_networkx(self, seed):
+        t = RootedTree(parent=random_parents(60, seed), root=0)
+        lengths = nx.single_source_shortest_path_length(to_nx(t), 0)
+        want = np.array([lengths[v] for v in range(t.n)])
+        assert np.array_equal(t.depths(), want)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_diameter_matches_networkx(self, seed):
+        t = RootedTree(parent=random_parents(50, seed), root=0)
+        assert t.diameter() == nx.diameter(to_nx(t))
+
+    def test_single_vertex(self):
+        t = RootedTree(parent=np.array([0]), root=0)
+        assert t.diameter() == 0 and t.height() == 0
+
+    def test_children_count(self):
+        t = RootedTree(parent=np.array([0, 0, 0, 1]), root=0)
+        assert t.children_count().tolist() == [2, 1, 0, 0]
+
+
+class TestEulerIntervals:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_intervals_are_laminar_and_sized(self, seed):
+        t = RootedTree(parent=random_parents(80, seed), root=0)
+        dfs, low, high = t.euler_intervals()
+        assert sorted(dfs.tolist()) == list(range(t.n))
+        sizes = high - low + 1
+        # subtree size identity: node's interval size = 1 + children's sum
+        for v in range(t.n):
+            kids = np.flatnonzero((t.parent == v) & (np.arange(t.n) != t.root))
+            assert sizes[v] == 1 + sizes[kids].sum()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_is_ancestor_matches_paths(self, seed):
+        t = RootedTree(parent=random_parents(40, seed), root=0)
+        g = to_nx(t)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 40, 60)
+        b = rng.integers(0, 40, 60)
+        got = t.is_ancestor(a, b)
+        for x, y, r in zip(a, b, got):
+            path = nx.shortest_path(g, 0, int(y))
+            assert r == (int(x) in path)
+
+
+class TestLCAandPathMax:
+    @pytest.mark.parametrize("shape", ["path", "star", "binary",
+                                       "caterpillar", "random"])
+    def test_lca_matches_networkx(self, shape):
+        t = tree_instance(shape, 70, 5)
+        g = to_nx(t)
+        rng = np.random.default_rng(11)
+        a = rng.integers(0, 70, 50)
+        b = rng.integers(0, 70, 50)
+        got = t.lca(a, b)
+        want = [
+            nx.lowest_common_ancestor(nx.bfs_tree(g, 0), int(x), int(y))
+            for x, y in zip(a, b)
+        ]
+        assert got.tolist() == want
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_path_max_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        parent = random_parents(45, seed)
+        w = rng.uniform(0, 1, 45)
+        w[0] = 0.0
+        t = RootedTree(parent=parent, root=0, weight=w)
+        g = to_nx(t)
+        a = rng.integers(0, 45, 40)
+        b = rng.integers(0, 45, 40)
+        got = t.path_max(a, b)
+        for x, y, r in zip(a, b, got):
+            path = nx.shortest_path(g, int(x), int(y))
+            if len(path) == 1:
+                assert r == -np.inf
+            else:
+                want = max(
+                    w[c] if t.parent[c] == p else w[p]
+                    for c, p in zip(path, path[1:])
+                )
+                assert np.isclose(r, want)
+
+    def test_lca_of_vertex_with_itself(self):
+        t = tree_instance("binary", 15, 0)
+        assert t.lca(np.array([7]), np.array([7]))[0] == 7
+
+    def test_lca_ancestor_pair(self):
+        t = tree_instance("path", 10, 0)
+        assert t.lca(np.array([9]), np.array([3]))[0] == 3
+
+    def test_path_max_to_ancestor_empty_path(self):
+        t = tree_instance("path", 5, 0)
+        out = t.path_max_to_ancestor(np.array([2]), np.array([2]))
+        assert out[0] == -np.inf
+
+
+class TestAdjacency:
+    def test_csr_consistent(self):
+        u = np.array([0, 1, 2])
+        v = np.array([1, 2, 3])
+        off, nbr, eid = build_adjacency(4, u, v)
+        assert off.tolist() == [0, 1, 3, 5, 6]
+        assert sorted(nbr[off[1]:off[2]].tolist()) == [0, 2]
+
+
+@given(st.integers(2, 120), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_property_depths_consistent_with_parents(n, seed):
+    t = RootedTree(parent=random_parents(n, seed), root=0)
+    d = t.depths()
+    nonroot = np.arange(n) != 0
+    assert np.array_equal(d[nonroot], d[t.parent[nonroot]] + 1)
+    assert d[0] == 0

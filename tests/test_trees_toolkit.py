@@ -1,0 +1,212 @@
+"""Distributed tree toolkit vs sequential oracles (depths, Euler, rooting,
+root paths, ancestor tables, connectivity)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotATreeError
+from repro.graph.generators import backbone_tree, tree_instance
+from repro.graph.tree import RootedTree
+from repro.mpc import LocalRuntime, Table
+from repro.trees import (
+    ancestor_tables,
+    collect_root_paths,
+    diameter_estimate,
+    euler_intervals,
+    list_rank,
+    mpc_connected_components,
+    mpc_count_components,
+    mpc_depths,
+    mpc_is_spanning_tree,
+    root_tree,
+)
+
+SHAPES = ["path", "star", "binary", "ternary", "caterpillar", "random"]
+
+
+class TestDepths:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_matches_oracle(self, shape, rt):
+        t = tree_instance(shape, 90, 2)
+        assert np.array_equal(mpc_depths(rt, t.parent, t.root), t.depths())
+
+    def test_single_vertex(self, rt):
+        assert mpc_depths(rt, np.array([0]), 0).tolist() == [0]
+
+    def test_rounds_logarithmic_in_depth(self):
+        shallow, deep = LocalRuntime(), LocalRuntime()
+        t1 = backbone_tree(200, 4, rng=0)
+        t2 = backbone_tree(200, 150, rng=0)
+        mpc_depths(shallow, t1.parent, 0)
+        mpc_depths(deep, t2.parent, 0)
+        assert shallow.rounds < deep.rounds <= 4 * int(np.log2(150) + 2)
+
+
+class TestDiameterEstimate:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_two_approximation(self, shape, rt):
+        t = tree_instance(shape, 120, 4)
+        d_hat, _ = diameter_estimate(rt, t.parent, t.root)
+        d = t.diameter()
+        assert d <= d_hat <= 2 * max(d, 1)
+
+
+class TestListRank:
+    def test_single_chain(self, rt):
+        succ = np.array([1, 2, 3, -1])
+        assert list_rank(rt, succ).tolist() == [3, 2, 1, 0]
+
+    def test_multiple_chains(self, rt):
+        succ = np.array([-1, 0, 1, -1, 3])
+        assert list_rank(rt, succ).tolist() == [0, 1, 2, 0, 1]
+
+    def test_cycle_detected(self, rt):
+        with pytest.raises(NotATreeError):
+            list_rank(rt, np.array([1, 0]))
+
+
+class TestEulerIntervals:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("n", [2, 9, 64, 150])
+    def test_matches_sequential(self, shape, n, rt):
+        t = tree_instance(shape, n, 5)
+        dfs, low, high = euler_intervals(rt, t.parent, t.root)
+        odfs, olow, ohigh = t.euler_intervals()
+        assert np.array_equal(dfs, odfs)
+        assert np.array_equal(low, olow)
+        assert np.array_equal(high, ohigh)
+
+    def test_single_vertex(self, rt):
+        dfs, low, high = euler_intervals(rt, np.array([0]), 0)
+        assert dfs[0] == low[0] == high[0] == 0
+
+    @given(seed=st.integers(0, 500), n=st.integers(2, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_sequential(self, seed, n):
+        rng = np.random.default_rng(seed)
+        parent = np.zeros(n, dtype=np.int64)
+        for i in range(1, n):
+            parent[i] = rng.integers(0, i)
+        t = RootedTree(parent=parent, root=0)
+        rt = LocalRuntime()
+        dfs, low, high = euler_intervals(rt, parent, 0)
+        odfs, _, ohigh = t.euler_intervals()
+        assert np.array_equal(dfs, odfs)
+        assert np.array_equal(high, ohigh)
+
+
+class TestRooting:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_roundtrip_with_shuffle(self, shape, rt, rng):
+        t = tree_instance(shape, 80, 3)
+        w = rng.uniform(1, 2, 80)
+        w[t.root] = 0.0
+        wt = RootedTree(parent=t.parent, root=t.root, weight=w)
+        child, par, ew = wt.edge_arrays()
+        perm = rng.permutation(len(child))
+        uu, vv, ww = child[perm].copy(), par[perm].copy(), ew[perm].copy()
+        flip = rng.random(len(uu)) < 0.5
+        uu[flip], vv[flip] = vv[flip].copy(), uu[flip].copy()
+        parent, weight = root_tree(rt, 80, uu, vv, ww, root=t.root)
+        assert np.array_equal(parent, t.parent)
+        assert np.allclose(weight, w)
+
+    def test_nonzero_root(self, rt):
+        t = tree_instance("random", 40, 9)
+        child, par, _ = t.edge_arrays()
+        parent, _ = root_tree(rt, 40, child, par, root=17)
+        assert parent[17] == 17
+        oracle = RootedTree.from_edges(40, child, par, root=17)
+        assert np.array_equal(parent, oracle.parent)
+
+    def test_single_vertex(self, rt):
+        parent, w = root_tree(rt, 1, np.array([], dtype=np.int64),
+                              np.array([], dtype=np.int64))
+        assert parent.tolist() == [0]
+
+    def test_wrong_edge_count(self, rt):
+        with pytest.raises(NotATreeError):
+            root_tree(rt, 3, np.array([0]), np.array([1]))
+
+
+class TestAncestorTables:
+    def test_entries_match_oracle(self, rt):
+        t = tree_instance("random", 60, 8)
+        depth = t.depths()
+        tab = ancestor_tables(rt, t.parent, t.root, int(depth.max()))
+        for rec in tab.to_records():
+            v, i, anc = rec["v"], rec["i"], rec["anc"]
+            x = v
+            for _ in range(2**i):
+                x = int(t.parent[x])
+            assert anc == x
+
+    def test_levels_cover_max_dist(self, rt):
+        t = tree_instance("path", 40, 0)
+        tab = ancestor_tables(rt, t.parent, t.root, 39)
+        assert int(tab.col("i").max()) == 5  # 2^5 = 32 <= 39 < 64
+
+
+class TestRootPaths:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_complete_and_correct(self, shape, rt):
+        t = tree_instance(shape, 50, 6)
+        paths = collect_root_paths(rt, t.parent, t.root)
+        depth = t.depths()
+        assert len(paths) == 50 + depth.sum()
+        # spot-check the deepest vertex's full path
+        v = int(np.argmax(depth))
+        rows = sorted(
+            (r["d"], r["anc"]) for r in paths.to_records() if r["v"] == v
+        )
+        x, want = v, []
+        d = 0
+        while True:
+            want.append((d, x))
+            if x == t.root:
+                break
+            x = int(t.parent[x])
+            d += 1
+        assert rows == want
+
+    def test_memory_charged_for_paths(self):
+        rt = LocalRuntime()
+        t = tree_instance("path", 60, 0)
+        collect_root_paths(rt, t.parent, t.root)
+        # the paths table is Θ(n²) words for a path; must show in the peak
+        assert rt.tracker.peak_global_words >= 60 * 59 / 2
+
+
+class TestConnectivity:
+    def test_components_match_oracle(self, rt, rng):
+        from repro.graph.validation import connected_components
+
+        u = rng.integers(0, 80, 80)
+        v = rng.integers(0, 80, 80)
+        keep = u != v
+        u, v = u[keep], v[keep]
+        got = mpc_connected_components(rt, 80, u, v)
+        want = connected_components(80, u, v)
+        assert np.array_equal(got, want)
+
+    def test_count(self, rt):
+        # components: {0,1,2}, {3,4}, {5}
+        assert mpc_count_components(
+            rt, 6, np.array([0, 1, 3]), np.array([1, 2, 4])
+        ) == 3
+
+    def test_spanning_tree_check(self, rt):
+        assert mpc_is_spanning_tree(rt, 4, np.array([0, 1, 2]),
+                                    np.array([1, 2, 3]))
+
+    def test_spanning_tree_rejects_cycle_plus_isolated(self, rt):
+        # n-1 edges but contains a cycle (the Theorem 5.2 trap)
+        assert not mpc_is_spanning_tree(rt, 4, np.array([0, 1, 2]),
+                                        np.array([1, 2, 0]))
+
+    def test_isolated_vertices(self, rt):
+        assert mpc_count_components(
+            rt, 5, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        ) == 5

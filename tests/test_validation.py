@@ -1,0 +1,68 @@
+"""Union-find and sequential structural validation tests."""
+
+import numpy as np
+
+from repro.graph.validation import (
+    UnionFind,
+    connected_components,
+    count_components,
+    is_forest,
+    is_spanning_tree,
+)
+
+
+class TestUnionFind:
+    def test_union_reduces_components(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.n_components == 3
+
+    def test_redundant_union_detected(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert not uf.union(0, 2)
+
+    def test_find_is_canonical(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 3)
+        roots = {uf.find(i) for i in (0, 1, 2, 3)}
+        assert len(roots) == 1
+        assert uf.find(4) not in roots
+
+
+class TestForestChecks:
+    def test_forest_true(self):
+        assert is_forest(5, np.array([0, 1, 3]), np.array([1, 2, 4]))
+
+    def test_forest_cycle_false(self):
+        assert not is_forest(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+    def test_forest_selfloop_false(self):
+        assert not is_forest(2, np.array([1]), np.array([1]))
+
+    def test_spanning_tree_true(self):
+        assert is_spanning_tree(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+
+    def test_spanning_tree_wrong_count(self):
+        assert not is_spanning_tree(4, np.array([0, 1]), np.array([1, 2]))
+
+    def test_spanning_tree_disconnected(self):
+        assert not is_spanning_tree(
+            4, np.array([0, 2, 0]), np.array([1, 3, 1])
+        )
+
+
+class TestComponents:
+    def test_labels_are_min_member(self):
+        lab = connected_components(6, np.array([4, 2]), np.array([5, 3]))
+        assert lab.tolist() == [0, 1, 2, 2, 4, 4]
+
+    def test_count(self):
+        assert count_components(6, np.array([0, 1]), np.array([1, 2])) == 4
+
+    def test_empty_edges(self):
+        assert count_components(3, np.array([], dtype=np.int64),
+                                np.array([], dtype=np.int64)) == 3

@@ -1,0 +1,164 @@
+"""End-to-end MST verification (Theorem 3.1) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import nontree_pathmax, verify_by_recompute
+from repro.core.verification import verify_mst
+from repro.graph.generators import (
+    attach_nontree_edges,
+    backbone_tree,
+    known_mst_instance,
+    one_vs_two_cycles_instance,
+    perturb_break_mst,
+    random_connected_graph,
+    tree_instance,
+)
+from repro.graph.graph import WeightedGraph
+
+SHAPES = ["path", "star", "binary", "ternary", "caterpillar", "random"]
+
+
+class TestAccepts:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_true_mst_accepted(self, shape):
+        g, _ = known_mst_instance(shape, 150, extra_m=300, rng=7)
+        r = verify_mst(g)
+        assert r.is_mst and r.reason == "ok" and r.n_violations == 0
+
+    @pytest.mark.parametrize("shape", ["path", "random"])
+    def test_ties_still_accepted(self, shape):
+        g, _ = known_mst_instance(shape, 120, extra_m=240, rng=3,
+                                  mode="tight")
+        assert verify_mst(g).is_mst
+
+    def test_tree_only_graph(self):
+        g, _ = known_mst_instance("binary", 63, extra_m=0, rng=0)
+        assert verify_mst(g).is_mst
+
+    def test_two_vertices(self):
+        g = WeightedGraph.from_edges(2, [(0, 1, 1.0), (0, 1, 2.0)],
+                                     tree_edges=[(0, 1)])
+        assert verify_mst(g).is_mst
+
+    def test_parallel_edge_cheaper_rejected(self):
+        g = WeightedGraph.from_edges(2, [(0, 1, 3.0), (0, 1, 2.0)],
+                                     tree_edges=[(0, 1)])
+        r = verify_mst(g)
+        assert not r.is_mst and r.n_violations == 1
+
+
+class TestRejects:
+    @pytest.mark.parametrize("shape", ["path", "binary", "caterpillar",
+                                       "random"])
+    def test_perturbed_rejected_with_witness(self, shape):
+        g, _ = known_mst_instance(shape, 100, extra_m=200, rng=11)
+        bad = perturb_break_mst(g, rng=13)
+        r = verify_mst(bad)
+        assert not r.is_mst
+        assert r.reason == "cheaper-nontree-edge"
+        assert len(r.violating_edges) == r.n_violations >= 1
+        # the witness really is cheaper than its tree path
+        pm = nontree_pathmax(bad)
+        nt_pos = {e: i for i, e in enumerate(r.nontree_index)}
+        for e in r.violating_edges:
+            assert bad.w[e] < pm[nt_pos[e]]
+
+    def test_non_spanning_tree_rejected(self):
+        g = WeightedGraph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0)],
+            tree_edges=[(0, 1), (1, 2), (0, 2)],  # cycle, misses vertex 3
+        )
+        r = verify_mst(g)
+        assert not r.is_mst and r.reason == "not-spanning-tree"
+
+    def test_wrong_edge_count_rejected(self):
+        g = WeightedGraph.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 1.0)], tree_edges=[(0, 1)]
+        )
+        assert verify_mst(g).reason == "not-spanning-tree"
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_match_recompute(self, seed):
+        g = random_connected_graph(90, 260, rng=seed)
+        assert verify_mst(g).is_mst == verify_by_recompute(g)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pathmax_exact(self, seed):
+        g = random_connected_graph(80, 220, rng=100 + seed)
+        r = verify_mst(g)
+        assert np.allclose(r.pathmax, nontree_pathmax(g))
+
+    @given(seed=st.integers(0, 2000), n=st.integers(5, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_property_verdict_matches_oracle(self, seed, n):
+        g = random_connected_graph(n, min(3 * n, n * (n - 1) // 2), rng=seed)
+        assert verify_mst(g).is_mst == verify_by_recompute(g)
+
+
+class TestModes:
+    def test_oracle_labels_same_verdict_fewer_rounds(self):
+        g, _ = known_mst_instance("caterpillar", 120, extra_m=240, rng=5)
+        full = verify_mst(g)
+        orc = verify_mst(g, oracle_labels=True)
+        assert full.is_mst == orc.is_mst
+        assert np.allclose(full.pathmax, orc.pathmax)
+        assert orc.rounds < full.rounds
+
+    def test_nonzero_root(self):
+        g, _ = known_mst_instance("random", 70, extra_m=140, rng=6)
+        assert verify_mst(g, root=33).is_mst
+
+    def test_reduction_exponent_affects_cluster_count(self):
+        g, _ = known_mst_instance("path", 200, extra_m=100, rng=1)
+        shallow = verify_mst(g, reduction_exponent=0.5)
+        deep = verify_mst(g, reduction_exponent=1.5)
+        assert shallow.is_mst and deep.is_mst
+        assert shallow.cluster_counts[-1] >= deep.cluster_counts[-1]
+
+    def test_internals_exposed_for_sensitivity(self):
+        g, _ = known_mst_instance("binary", 63, extra_m=100, rng=2)
+        internals = {}
+        verify_mst(g, _internals=internals)
+        for key in ("rt", "hierarchy", "halves", "labeled", "pathmax"):
+            assert key in internals
+
+
+class TestLowerBoundFamily:
+    @pytest.mark.parametrize("n", [20, 60, 120])
+    def test_one_cycle_accepted(self, n):
+        g, _ = one_vs_two_cycles_instance(n, two_cycles=False, rng=n)
+        assert verify_mst(g).is_mst
+
+    @pytest.mark.parametrize("n", [20, 60, 120])
+    def test_two_cycles_rejected(self, n):
+        g, _ = one_vs_two_cycles_instance(n, two_cycles=True, rng=n)
+        r = verify_mst(g)
+        assert not r.is_mst and r.reason == "not-spanning-tree"
+
+
+class TestReporting:
+    def test_phase_breakdown_present(self):
+        g, _ = known_mst_instance("random", 80, extra_m=160, rng=8)
+        r = verify_mst(g)
+        phases = set(r.report.rounds_by_phase)
+        assert any(p.startswith("core/clustering") for p in phases)
+        assert any(p.startswith("core/lca") for p in phases)
+        assert any(p.startswith("core/labels") for p in phases)
+        assert r.core_rounds + r.substrate_rounds <= r.rounds
+        assert r.core_rounds > 0 and r.substrate_rounds > 0
+
+    def test_memory_linear(self):
+        g, _ = known_mst_instance("caterpillar", 300, extra_m=600, rng=9)
+        r = verify_mst(g)
+        assert r.report.peak_global_words <= 40 * (g.total_words())
+
+    def test_diameter_estimate_valid(self):
+        t = backbone_tree(150, 60, rng=0)
+        g = attach_nontree_edges(t, 100, rng=1)
+        r = verify_mst(g)
+        assert 60 <= r.diameter_estimate <= 120
