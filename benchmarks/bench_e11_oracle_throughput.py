@@ -1,0 +1,93 @@
+"""E11 — query throughput of the prebuilt sensitivity oracle.
+
+The selling point of the oracle layer: after one O(log D_T)-round MPC
+precomputation, weight-update queries are answered in O(1) each (or
+O(batch) vectorised) with no further rounds. The table reports the
+one-time build cost next to point/bulk query throughput; the
+acceptance bar is >= 1e5 point queries per second.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.graph.generators import known_mst_instance
+from repro.oracle import build_oracle
+
+N = 2048
+EXTRA_M = 2 * N
+POINT_QUERIES = 100_000
+BULK_QUERIES = 1_000_000
+
+#: Acceptance floor: a prebuilt oracle must clear this point-query rate.
+MIN_POINT_QPS = 1e5
+
+
+def _build():
+    g, _ = known_mst_instance("random", N, extra_m=EXTRA_M, rng=17)
+    t0 = time.perf_counter()
+    oracle = build_oracle(g, oracle_labels=True)
+    build_s = time.perf_counter() - t0
+    return g, oracle, build_s
+
+
+def _sweep():
+    g, oracle, build_s = _build()
+    rng = np.random.default_rng(23)
+
+    edges = rng.integers(0, g.m, POINT_QUERIES).tolist()
+    weights = rng.uniform(0.0, 2.0, POINT_QUERIES).tolist()
+    t0 = time.perf_counter()
+    survived = 0
+    for e, x in zip(edges, weights):
+        survived += oracle.survives(e, x)
+    point_s = time.perf_counter() - t0
+    point_qps = POINT_QUERIES / point_s
+
+    bulk_e = rng.integers(0, g.m, BULK_QUERIES)
+    bulk_x = rng.uniform(0.0, 2.0, BULK_QUERIES)
+    t0 = time.perf_counter()
+    bulk_hits = int(oracle.survives_bulk(bulk_e, bulk_x).sum())
+    bulk_s = time.perf_counter() - t0
+    bulk_qps = BULK_QUERIES / bulk_s
+
+    rows = [
+        ("build (precompute rounds)", oracle.precompute_rounds, "-", "-"),
+        ("build (wall)", 1, round(build_s, 4), "-"),
+        ("point survives()", POINT_QUERIES, round(point_s, 4),
+         f"{point_qps:,.0f}"),
+        ("bulk survives_bulk()", BULK_QUERIES, round(bulk_s, 4),
+         f"{bulk_qps:,.0f}"),
+    ]
+    stats = {"point_qps": point_qps, "bulk_qps": bulk_qps,
+             "survived": survived, "bulk_hits": bulk_hits}
+    return rows, stats
+
+
+def test_e11_table(table_sink, benchmark):
+    rows, stats = _sweep()
+    assert stats["point_qps"] >= MIN_POINT_QPS, \
+        f"point throughput {stats['point_qps']:,.0f} q/s below 1e5"
+    assert stats["bulk_qps"] >= stats["point_qps"]
+    assert 0 < stats["survived"] < POINT_QUERIES  # both outcomes exercised
+
+    g, oracle, _ = _build()
+    rng = np.random.default_rng(1)
+    e = rng.integers(0, g.m, 100_000)
+    x = rng.uniform(0.0, 2.0, 100_000)
+    benchmark.pedantic(lambda: oracle.survives_bulk(e, x),
+                       rounds=5, iterations=1)
+    table_sink(
+        "E11: oracle query throughput after one MPC precomputation "
+        f"(n={N}, m={N - 1 + EXTRA_M})",
+        render_table(["operation", "count", "wall (s)", "queries/s"], rows),
+    )
+
+
+if __name__ == "__main__":
+    rows, stats = _sweep()
+    print(render_table(["operation", "count", "wall (s)", "queries/s"], rows))
+    ok = stats["point_qps"] >= MIN_POINT_QPS
+    print(f"point-query floor (1e5/s): {'PASS' if ok else 'FAIL'}")
+    raise SystemExit(0 if ok else 1)

@@ -13,6 +13,7 @@ High-level API::
     sens = mst_sensitivity(graph)
 """
 
+from .batch import BatchRunner, JobSpec, make_workload
 from .graph.generators import (
     known_mst_instance,
     one_vs_two_cycles_instance,
@@ -21,8 +22,9 @@ from .graph.generators import (
 from .graph.graph import WeightedGraph
 from .graph.tree import RootedTree
 from .mpc import LocalRuntime, MPCConfig, Table, make_runtime
+from .oracle import SensitivityOracle, build_oracle
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "WeightedGraph",
@@ -34,6 +36,11 @@ __all__ = [
     "known_mst_instance",
     "one_vs_two_cycles_instance",
     "perturb_break_mst",
+    "SensitivityOracle",
+    "build_oracle",
+    "BatchRunner",
+    "JobSpec",
+    "make_workload",
     "verify_mst",
     "mst_sensitivity",
     "verify_msf",

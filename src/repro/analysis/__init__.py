@@ -7,9 +7,10 @@ from .experiments import (
     sensitivity_rounds_row,
     verification_rounds_row,
 )
-from .tables import render_table, to_csv
+from .tables import aggregate_records, render_table, to_csv
 
 __all__ = [
+    "aggregate_records",
     "LogFit",
     "fit_log",
     "growth_ratio",

@@ -1,11 +1,13 @@
-"""ASCII table / CSV rendering for experiment reports."""
+"""ASCII table / CSV rendering and record aggregation for reports."""
 
 from __future__ import annotations
 
+import csv
 import io
-from typing import Iterable, List, Sequence
+from collections import OrderedDict
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
-__all__ = ["render_table", "to_csv"]
+__all__ = ["render_table", "to_csv", "aggregate_records"]
 
 
 def _fmt(x) -> str:
@@ -36,9 +38,55 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     return out.getvalue()
 
 
+def _agg(values: List, how: str):
+    if how == "count":
+        return len(values)
+    if not values:
+        return float("nan")
+    if how == "sum":
+        return sum(values)
+    if how == "mean":
+        return sum(values) / len(values)
+    if how == "min":
+        return min(values)
+    if how == "max":
+        return max(values)
+    raise ValueError(f"unknown aggregation {how!r}")
+
+
+def aggregate_records(
+    records: Iterable[Mapping],
+    group_by: Sequence[str],
+    metrics: Sequence[Tuple[str, str, str]],
+) -> Tuple[List[str], List[Tuple]]:
+    """Group dict records and fold metrics — the batch-report reducer.
+
+    ``metrics`` entries are ``(header, field, how)`` with ``how`` one of
+    ``count | sum | mean | min | max``; records where ``field`` is
+    ``None`` (or absent) are skipped for that metric. Returns
+    ``(headers, rows)`` ready for :func:`render_table` / :func:`to_csv`;
+    groups appear in first-seen order.
+    """
+    groups: "OrderedDict[Tuple, List[Mapping]]" = OrderedDict()
+    for rec in records:
+        key = tuple(rec.get(k) for k in group_by)
+        groups.setdefault(key, []).append(rec)
+    headers = list(group_by) + [h for h, _, _ in metrics]
+    rows = []
+    for key, recs in groups.items():
+        row = list(key)
+        for _, field, how in metrics:
+            vals = [r[field] for r in recs
+                    if r.get(field) is not None]
+            row.append(_agg(vals, how))
+        rows.append(tuple(row))
+    return headers, rows
+
+
 def to_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     out = io.StringIO()
-    out.write(",".join(headers) + "\n")
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(headers)
     for r in rows:
-        out.write(",".join(_fmt(c) for c in r) + "\n")
+        writer.writerow([_fmt(c) for c in r])
     return out.getvalue()

@@ -4,6 +4,7 @@ Commands
 --------
 ``verify``       build (or perturb) an instance and run Theorem 3.1
 ``sensitivity``  run Theorem 4.1 and print the most fragile edges
+``batch``        fan a mixed verify/sensitivity workload over a process pool
 ``sweep``        the headline experiment: rounds vs candidate-tree diameter
 ``lower-bound``  the Theorem 5.2 hard family
 
@@ -12,6 +13,9 @@ Examples::
     python -m repro verify --shape caterpillar --n 2000 --extra-m 4000
     python -m repro verify --shape random --n 500 --break-mst
     python -m repro sensitivity --shape binary --n 1023 --top 8
+    python -m repro batch --jobs 8 --n 300
+    python -m repro batch --jobs 12 --format json --out report.json
+    python -m repro batch --jobs 6 --persist-oracles /tmp/oracles
     python -m repro sweep --n 4096 --diameters 8,32,128,512
     python -m repro lower-bound --sizes 64,256,1024
 """
@@ -24,6 +28,7 @@ import sys
 import numpy as np
 
 from .analysis import fit_log, render_table
+from .errors import ValidationError
 from .graph.generators import (
     attach_nontree_edges,
     backbone_tree,
@@ -67,6 +72,33 @@ def build_parser() -> argparse.ArgumentParser:
     instance_args(sp)
     sp.add_argument("--top", type=int, default=5,
                     help="how many fragile edges to list")
+
+    sp = sub.add_parser(
+        "batch", help="run many verify/sensitivity jobs across a process pool"
+    )
+    sp.add_argument("--jobs", type=int, default=8,
+                    help="number of jobs in the workload")
+    sp.add_argument("--processes", type=int, default=None,
+                    help="pool size (default: min(jobs, cpu count))")
+    sp.add_argument("--n", type=int, default=200)
+    sp.add_argument("--extra-m", type=int, default=None,
+                    help="non-tree edges per instance (default 2n)")
+    sp.add_argument("--shapes", type=str, default="random,binary,caterpillar",
+                    help="comma-separated tree shapes to cycle through")
+    sp.add_argument("--kinds", type=str, default="verify,sensitivity",
+                    help="comma-separated job kinds to mix")
+    sp.add_argument("--broken", type=float, default=0.25,
+                    help="fraction of verify jobs on a perturbed (non-MST) tree")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--engine", choices=["local", "distributed"],
+                    default="local")
+    sp.add_argument("--delta", type=float, default=0.35)
+    sp.add_argument("--format", choices=["table", "json", "csv"],
+                    default="table", help="per-job record format")
+    sp.add_argument("--out", type=str, default=None,
+                    help="write per-job records to this file (default stdout)")
+    sp.add_argument("--persist-oracles", type=str, default=None, metavar="DIR",
+                    help="save a rehydratable sensitivity oracle per job here")
 
     sp = sub.add_parser("sweep", help="rounds vs D_T experiment")
     sp.add_argument("--n", type=int, default=4096)
@@ -133,6 +165,66 @@ def cmd_sensitivity(args, out) -> int:
     return 0
 
 
+def cmd_batch(args, out) -> int:
+    import json
+
+    from .analysis import to_csv
+    from .batch import (
+        BatchRunner, RECORD_FIELDS, aggregate, make_workload,
+    )
+
+    jobs = make_workload(
+        count=args.jobs,
+        kinds=tuple(k.strip() for k in args.kinds.split(",") if k.strip()),
+        shapes=tuple(s.strip() for s in args.shapes.split(",") if s.strip()),
+        n=args.n, extra_m=args.extra_m, base_seed=args.seed,
+        broken_fraction=args.broken, engine=args.engine,
+    )
+    runner = BatchRunner(
+        config=_config(args), processes=args.processes,
+        persist_dir=args.persist_oracles,
+    )
+    results = runner.run(jobs)
+    records = [r.as_record() for r in results]
+
+    if args.format == "json":
+        payload = json.dumps({"jobs": records}, indent=2)
+    elif args.format == "csv":
+        payload = to_csv(RECORD_FIELDS,
+                         [[rec[f] if rec[f] is not None else ""
+                           for f in RECORD_FIELDS] for rec in records])
+    else:
+        cols = ["job_id", "kind", "shape", "n", "m", "engine", "ok",
+                "is_mst", "rounds", "core_rounds", "peak_words", "wall_s"]
+        payload = render_table(
+            cols, [[rec[c] if rec[c] is not None else "-" for c in cols]
+                   for rec in records],
+        )
+    # keep stdout machine-readable for json/csv: the human summary moves
+    # to stderr unless the payload went to a file
+    summary = out
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + ("\n" if not payload.endswith("\n") else ""))
+        out.write(f"wrote {len(records)} job records to {args.out}\n")
+    else:
+        out.write(payload if payload.endswith("\n") else payload + "\n")
+        if args.format != "table":
+            summary = sys.stderr
+    failed = [r for r in results if not r.ok]
+    headers, rows = aggregate(results)
+    summary.write("\naggregated cost table (by kind, shape):\n")
+    summary.write(render_table(headers, rows))
+    summary.write(f"\njobs: {len(results)} total, "
+                  f"{len(results) - len(failed)} ok, {len(failed)} failed\n")
+    for r in failed[:5]:
+        summary.write(f"  job {r.job_id} [{r.kind}/{r.shape}]: {r.error}\n")
+    if args.persist_oracles:
+        saved = sum(1 for r in results if r.oracle_path)
+        summary.write(f"persisted {saved} oracles to {args.persist_oracles}\n")
+    return 0 if not failed else 1
+
+
 def cmd_sweep(args, out) -> int:
     from .core.verification import verify_mst
 
@@ -171,12 +263,17 @@ def cmd_lower_bound(args, out) -> int:
 def main(argv=None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    return {
-        "verify": cmd_verify,
-        "sensitivity": cmd_sensitivity,
-        "sweep": cmd_sweep,
-        "lower-bound": cmd_lower_bound,
-    }[args.command](args, out)
+    try:
+        return {
+            "verify": cmd_verify,
+            "sensitivity": cmd_sensitivity,
+            "batch": cmd_batch,
+            "sweep": cmd_sweep,
+            "lower-bound": cmd_lower_bound,
+        }[args.command](args, out)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

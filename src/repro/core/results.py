@@ -1,13 +1,22 @@
-"""Result types returned by the verification and sensitivity pipelines."""
+"""Result types returned by the verification and sensitivity pipelines.
+
+Both result classes serialize to a single ``.npz`` file (arrays stored
+natively, scalars and the :class:`~repro.mpc.cost.CostReport` in an
+embedded JSON header). This is what lets batch workers hand results
+across process boundaries cheaply and lets a
+:class:`~repro.oracle.SensitivityOracle` be rehydrated far from the
+machine that ran the MPC pipeline.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..mpc.cost import CostReport
+from ..serialize import load_npz, save_npz
 
 __all__ = ["VerificationResult", "SensitivityResult"]
 
@@ -44,6 +53,47 @@ class VerificationResult:
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.is_mst
 
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write a self-contained ``.npz`` snapshot (see :meth:`load`)."""
+        save_npz(
+            path,
+            {
+                "violating_edges": self.violating_edges,
+                "nontree_index": self.nontree_index,
+                "pathmax": self.pathmax,
+                "cluster_counts": np.asarray(self.cluster_counts, dtype=np.int64),
+            },
+            {
+                "kind": "verification",
+                "is_mst": bool(self.is_mst),
+                "reason": self.reason,
+                "n_violations": int(self.n_violations),
+                "diameter_estimate": int(self.diameter_estimate),
+                "rounds": int(self.rounds),
+                "report": self.report.to_dict(),
+            },
+        )
+
+    @classmethod
+    def load(cls, path) -> "VerificationResult":
+        arrays, meta = load_npz(path)
+        if meta.get("kind") != "verification":
+            raise ValueError(f"{path!r} does not hold a VerificationResult")
+        return cls(
+            is_mst=meta["is_mst"],
+            reason=meta["reason"],
+            n_violations=meta["n_violations"],
+            violating_edges=arrays["violating_edges"],
+            nontree_index=arrays["nontree_index"],
+            pathmax=arrays.get("pathmax"),
+            diameter_estimate=meta["diameter_estimate"],
+            rounds=meta["rounds"],
+            report=CostReport.from_dict(meta["report"]),
+            cluster_counts=arrays["cluster_counts"].tolist(),
+        )
+
 
 @dataclass
 class SensitivityResult:
@@ -55,6 +105,12 @@ class SensitivityResult:
       before ``e`` leaves the MST (``inf`` for bridges);
     * non-tree edge: ``w(e) - pathmax(e)`` — how much the weight must
       *decrease* before ``e`` enters the MST.
+
+    ``parent``/``root`` (the rooting the pipeline used) and ``pathmax``
+    (aligned with ``nontree_index``) are exposed so that downstream
+    consumers — most importantly :class:`~repro.oracle.SensitivityOracle`
+    — can reuse the pipeline's exact artefacts instead of recomputing
+    them with possibly different tie-breaking.
     """
 
     sensitivity: np.ndarray              # per input edge, ordered as input
@@ -65,6 +121,9 @@ class SensitivityResult:
     rounds: int
     report: CostReport
     notes_peak: int = 0                  # max live root-to-leaf notes (Claim 4.13)
+    pathmax: Optional[np.ndarray] = None  # aligned with nontree_index
+    parent: Optional[np.ndarray] = None   # rooted-tree parent array (per vertex)
+    root: int = 0
 
     @property
     def core_rounds(self) -> int:
@@ -73,3 +132,46 @@ class SensitivityResult:
     @property
     def substrate_rounds(self) -> int:
         return self.report.rounds_in("substrate")
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write a self-contained ``.npz`` snapshot (see :meth:`load`)."""
+        save_npz(
+            path,
+            {
+                "sensitivity": self.sensitivity,
+                "mc": self.mc,
+                "tree_index": self.tree_index,
+                "nontree_index": self.nontree_index,
+                "pathmax": self.pathmax,
+                "parent": self.parent,
+            },
+            {
+                "kind": "sensitivity",
+                "diameter_estimate": int(self.diameter_estimate),
+                "rounds": int(self.rounds),
+                "notes_peak": int(self.notes_peak),
+                "root": int(self.root),
+                "report": self.report.to_dict(),
+            },
+        )
+
+    @classmethod
+    def load(cls, path) -> "SensitivityResult":
+        arrays, meta = load_npz(path)
+        if meta.get("kind") != "sensitivity":
+            raise ValueError(f"{path!r} does not hold a SensitivityResult")
+        return cls(
+            sensitivity=arrays["sensitivity"],
+            mc=arrays["mc"],
+            tree_index=arrays["tree_index"],
+            nontree_index=arrays["nontree_index"],
+            diameter_estimate=meta["diameter_estimate"],
+            rounds=meta["rounds"],
+            report=CostReport.from_dict(meta["report"]),
+            notes_peak=meta["notes_peak"],
+            pathmax=arrays.get("pathmax"),
+            parent=arrays.get("parent"),
+            root=meta["root"],
+        )

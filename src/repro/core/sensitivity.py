@@ -115,4 +115,7 @@ def mst_sensitivity(
         rounds=rt.rounds,
         report=rt.report(),
         notes_peak=state.notes.peak,
+        pathmax=ver.pathmax,
+        parent=parent,
+        root=internals["root"],
     )

@@ -93,6 +93,36 @@ class CostReport:
             if phase == prefix or phase.startswith(prefix + "/")
         )
 
+    # -- serialization (results persistence, batch workers) ----------------------
+
+    def to_dict(self) -> Dict:
+        """A JSON-able representation (see :meth:`from_dict`)."""
+        return {
+            "rounds_total": int(self.rounds_total),
+            "rounds_by_phase": {k: int(v) for k, v in self.rounds_by_phase.items()},
+            "primitives_by_phase": {
+                phase: {p: int(c) for p, c in counts.items()}
+                for phase, counts in self.primitives_by_phase.items()
+            },
+            "peak_global_words": int(self.peak_global_words),
+            "peak_machine_words": int(self.peak_machine_words),
+            "transport_rounds": int(self.transport_rounds),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "CostReport":
+        return cls(
+            rounds_total=int(d["rounds_total"]),
+            rounds_by_phase={k: int(v) for k, v in d["rounds_by_phase"].items()},
+            primitives_by_phase={
+                phase: Counter({p: int(c) for p, c in counts.items()})
+                for phase, counts in d["primitives_by_phase"].items()
+            },
+            peak_global_words=int(d["peak_global_words"]),
+            peak_machine_words=int(d["peak_machine_words"]),
+            transport_rounds=int(d["transport_rounds"]),
+        )
+
     def phases(self) -> List[str]:
         return list(self.rounds_by_phase)
 

@@ -1,0 +1,34 @@
+"""The shared ``.npz``-plus-JSON-metadata persistence protocol.
+
+Result objects and oracles all persist the same way: arrays stored
+natively in one compressed ``.npz``, scalars/labels in a JSON header
+embedded as a 0-d string array under ``META_KEY``. One implementation
+here so the format cannot drift between consumers: plain ``open()``
+(no implicit ``.npz`` suffixing by :func:`numpy.savez_compressed`),
+``allow_pickle=False`` on read, ``None``-valued arrays skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["META_KEY", "save_npz", "load_npz"]
+
+META_KEY = "__meta__"
+
+
+def save_npz(path, arrays: Dict[str, Optional[np.ndarray]], meta: Dict) -> None:
+    payload = {k: np.asarray(v) for k, v in arrays.items() if v is not None}
+    payload[META_KEY] = np.array(json.dumps(meta))
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+
+
+def load_npz(path) -> Tuple[Dict[str, np.ndarray], Dict]:
+    with np.load(path, allow_pickle=False) as z:
+        meta = json.loads(str(z[META_KEY][()]))
+        arrays = {k: z[k] for k in z.files if k != META_KEY}
+    return arrays, meta

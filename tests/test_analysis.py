@@ -33,6 +33,12 @@ class TestRenderTable:
         out = to_csv(["a", "b"], [(1, 2), (3, 4)])
         assert out.splitlines() == ["a,b", "1,2", "3,4"]
 
+    def test_csv_quotes_special_characters(self):
+        out = to_csv(["msg"], [("shapes (3,) (4,)",), ('say "hi"',)])
+        assert out.splitlines() == [
+            "msg", '"shapes (3,) (4,)"', '"say ""hi"""',
+        ]
+
 
 class TestFitLog:
     def test_exact_log_data(self):

@@ -1,0 +1,133 @@
+"""Batch runner: determinism, pool-vs-inline equivalence, persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BatchRunner,
+    JobSpec,
+    RECORD_FIELDS,
+    aggregate,
+    make_workload,
+)
+from repro.errors import ValidationError
+from repro.oracle import SensitivityOracle, build_oracle
+
+
+def strip_wall(results):
+    recs = [r.as_record() for r in results]
+    for rec in recs:
+        rec.pop("wall_s")
+        rec.pop("oracle_path")
+    return recs
+
+
+class TestJobSpec:
+    def test_roundtrip(self):
+        spec = JobSpec(kind="sensitivity", shape="binary", n=50, seed=3)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_build_is_deterministic(self):
+        spec = JobSpec(kind="verify", shape="random", n=40, seed=5,
+                       break_mst=True)
+        g1, g2 = spec.build(), spec.build()
+        np.testing.assert_array_equal(g1.w, g2.w)
+        np.testing.assert_array_equal(g1.tree_mask, g2.tree_mask)
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValidationError):
+            JobSpec(kind="mst")
+        with pytest.raises(ValidationError):
+            JobSpec(shape="hypercube")
+        with pytest.raises(ValidationError):
+            JobSpec(kind="sensitivity", break_mst=True)
+
+
+class TestWorkload:
+    def test_deterministic_and_mixed(self):
+        a = make_workload(count=12, n=60, base_seed=1)
+        b = make_workload(count=12, n=60, base_seed=1)
+        assert a == b
+        kinds = {j.kind for j in a}
+        assert kinds == {"verify", "sensitivity"}
+        assert len({j.seed for j in a}) == 12  # per-job seeds
+
+    def test_broken_fraction_only_affects_verify(self):
+        jobs = make_workload(count=20, n=60, base_seed=2,
+                             broken_fraction=1.0)
+        for j in jobs:
+            assert j.break_mst == (j.kind == "verify")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            make_workload(count=0)
+        with pytest.raises(ValidationError):
+            make_workload(count=4, kinds=())
+        with pytest.raises(ValidationError):
+            make_workload(count=4, shapes=())
+
+
+class TestBatchRunner:
+    def test_pool_matches_inline(self):
+        jobs = make_workload(count=6, n=50, base_seed=3)
+        inline = BatchRunner(processes=1).run(jobs)
+        pooled = BatchRunner(processes=2).run(jobs)
+        assert strip_wall(inline) == strip_wall(pooled)
+
+    def test_results_follow_submission_order(self):
+        jobs = make_workload(count=5, n=40, base_seed=4)
+        results = BatchRunner(processes=2).run(jobs)
+        assert [r.job_id for r in results] == list(range(5))
+        for spec, res in zip(jobs, results):
+            assert (res.kind, res.shape, res.seed) == \
+                (spec.kind, spec.shape, spec.seed)
+
+    def test_broken_verify_jobs_report_not_mst(self):
+        jobs = [JobSpec(kind="verify", shape="random", n=40, seed=9,
+                        break_mst=True)]
+        (res,) = BatchRunner(processes=1).run(jobs)
+        assert res.ok and res.is_mst is False and res.n_violations >= 1
+
+    def test_job_error_is_captured_not_raised(self):
+        # n=2 with extra edges is fine, but extra_m<0 breaks the generator
+        jobs = [JobSpec(kind="verify", n=40, seed=0),
+                JobSpec(kind="verify", n=40, extra_m=-5, seed=0)]
+        results = BatchRunner(processes=1).run(jobs)
+        assert results[0].ok
+        assert not results[1].ok and results[1].error
+
+    def test_persisted_oracles_rehydrate(self, tmp_path):
+        jobs = [JobSpec(kind="sensitivity", shape="binary", n=63,
+                        extra_m=120, seed=13)]
+        (res,) = BatchRunner(processes=1,
+                             persist_dir=str(tmp_path)).run(jobs)
+        assert res.ok and res.oracle_path
+        back = SensitivityOracle.load(res.oracle_path)
+        fresh = build_oracle(jobs[0].build())
+        np.testing.assert_array_equal(back.threshold, fresh.threshold)
+        np.testing.assert_array_equal(back.cover_edge, fresh.cover_edge)
+        rng = np.random.default_rng(1)
+        e = rng.integers(0, back.m, 100)
+        x = rng.uniform(0, 2, 100)
+        np.testing.assert_array_equal(back.survives_bulk(e, x),
+                                      fresh.survives_bulk(e, x))
+
+
+class TestAggregation:
+    def test_aggregate_groups_and_counts(self):
+        jobs = make_workload(count=8, n=50, base_seed=6)
+        results = BatchRunner(processes=1).run(jobs)
+        headers, rows = aggregate(results)
+        assert headers[:2] == ["kind", "shape"]
+        assert sum(r[headers.index("jobs")] for r in rows) == 8
+        assert sum(r[headers.index("ok")] for r in rows) == 8
+
+    def test_records_are_json_safe(self):
+        jobs = make_workload(count=4, n=40, base_seed=8)
+        results = BatchRunner(processes=1).run(jobs)
+        payload = json.dumps([r.as_record() for r in results])
+        back = json.loads(payload)
+        assert len(back) == 4
+        assert set(RECORD_FIELDS) == set(back[0])

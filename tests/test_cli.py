@@ -55,6 +55,58 @@ class TestSensitivityCommand:
         assert code == 0 and "bridges" in text
 
 
+class TestBatchCommand:
+    def test_mixed_workload_end_to_end(self):
+        code, text = run_cli(["batch", "--jobs", "6", "--processes", "1",
+                              "--n", "60"])
+        assert code == 0
+        assert "aggregated cost table" in text
+        assert "sensitivity" in text and "verify" in text
+        assert "6 total, 6 ok, 0 failed" in text
+
+    def test_json_format_stdout_is_pure_json(self, capsys):
+        import json
+
+        code, text = run_cli(["batch", "--jobs", "4", "--processes", "1",
+                              "--n", "50", "--format", "json"])
+        assert code == 0
+        payload = json.loads(text)  # no trailing human summary on stdout
+        assert len(payload["jobs"]) == 4
+        assert all(rec["ok"] for rec in payload["jobs"])
+        assert "aggregated cost table" in capsys.readouterr().err
+
+    def test_csv_to_file(self, tmp_path):
+        out_file = tmp_path / "report.csv"
+        code, text = run_cli(["batch", "--jobs", "4", "--processes", "1",
+                              "--n", "50", "--format", "csv",
+                              "--out", str(out_file)])
+        assert code == 0
+        lines = out_file.read_text().strip().split("\n")
+        assert lines[0].startswith("job_id,kind,shape")
+        assert len(lines) == 5
+        assert str(out_file) in text
+
+    def test_bad_workload_args_exit_cleanly(self, capsys):
+        assert run_cli(["batch", "--jobs", "0"])[0] == 2
+        assert run_cli(["batch", "--kinds", ","])[0] == 2
+        assert run_cli(["batch", "--shapes", ""])[0] == 2
+        assert run_cli(["batch", "--kinds", "bogus"])[0] == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_persist_oracles(self, tmp_path):
+        from repro.oracle import SensitivityOracle
+
+        code, text = run_cli(["batch", "--jobs", "4", "--processes", "1",
+                              "--n", "50", "--kinds", "sensitivity",
+                              "--persist-oracles", str(tmp_path)])
+        assert code == 0
+        saved = sorted(tmp_path.glob("oracle_*.npz"))
+        assert len(saved) == 4
+        oracle = SensitivityOracle.load(saved[0])
+        assert oracle.m > 0
+        assert "persisted 4 oracles" in text
+
+
 class TestSweepCommands:
     def test_sweep_prints_fit(self):
         code, text = run_cli(["sweep", "--n", "512",

@@ -1,0 +1,123 @@
+"""Randomized differential suite: MPC pipelines vs sequential baselines.
+
+Roughly forty seeded instances across all ``TREE_SHAPES`` × {MST,
+broken-MST} × engines. Three invariants:
+
+1. ``verify_mst`` agrees with *both* sequential verification oracles
+   (recompute and path-max) on every instance;
+2. ``mst_sensitivity`` is bit-identical to the sequential Tarjan-style
+   oracle — same formulas over the same exact weights, so plain
+   ``==`` on the float arrays, no tolerances;
+3. the local and distributed engines stay bit-identical (outputs *and*
+   charged rounds) across randomized ``MPCConfig`` deltas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.seq_sensitivity import sequential_sensitivity
+from repro.baselines.seq_verify import (
+    nontree_pathmax,
+    verify_by_pathmax,
+    verify_by_recompute,
+)
+from repro.core.sensitivity import mst_sensitivity
+from repro.core.verification import verify_mst
+from repro.graph.generators import (
+    TREE_SHAPES,
+    known_mst_instance,
+    perturb_break_mst,
+)
+from repro.mpc import MPCConfig
+
+N = 60
+EXTRA_M = 90
+
+
+def make_instance(shape: str, seed: int, broken: bool):
+    g, _ = known_mst_instance(shape, N, extra_m=EXTRA_M, rng=seed)
+    if broken:
+        g = perturb_break_mst(g, rng=seed + 1)
+    return g
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("seed", (0, 1))
+@pytest.mark.parametrize("broken", (False, True))
+def test_verify_matches_sequential_oracles(shape, seed, broken):
+    g = make_instance(shape, seed, broken)
+    r = verify_mst(g)
+    assert r.is_mst == verify_by_recompute(g)
+    assert r.is_mst == verify_by_pathmax(g)
+    assert r.is_mst == (not broken)
+    # the per-edge path maxima must match the binary-lifting oracle too
+    np.testing.assert_array_equal(r.pathmax, nontree_pathmax(g))
+    if broken:
+        assert r.n_violations >= 1
+        # every reported witness really is a cheaper non-tree edge
+        tree = sequential_sensitivity(g).tree
+        pm = tree.path_max(g.u[r.violating_edges], g.v[r.violating_edges])
+        assert np.all(g.w[r.violating_edges] < pm)
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("seed", (0, 1))
+def test_sensitivity_matches_sequential_oracle(shape, seed):
+    g = make_instance(shape, seed, broken=False)
+    r = mst_sensitivity(g)
+    s = sequential_sensitivity(g)
+    np.testing.assert_array_equal(r.sensitivity, s.sensitivity)
+    np.testing.assert_array_equal(r.mc, s.mc)
+
+
+@pytest.mark.parametrize("shape", ("star", "caterpillar"))
+@pytest.mark.parametrize("seed", (3, 4))
+def test_sensitivity_on_non_mst_tree_matches_sequential(shape, seed):
+    """require_mst=False analyses covering weights of arbitrary spanning
+    trees — the sequential oracle never assumed minimality, so the two
+    must still agree exactly on broken instances."""
+    g = make_instance(shape, seed, broken=True)
+    r = mst_sensitivity(g, require_mst=False)
+    s = sequential_sensitivity(g)
+    np.testing.assert_array_equal(r.sensitivity, s.sensitivity)
+    np.testing.assert_array_equal(r.mc, s.mc)
+
+
+# -- engine differential -------------------------------------------------------
+
+#: Small inputs need a raised per-machine floor so every delta admits a
+#: legal deployment (m <= s plus protocol headroom).
+ENGINE_N = 40
+ENGINE_EXTRA_M = 60
+
+
+def _dist_config(delta: float) -> MPCConfig:
+    return MPCConfig(delta=delta, min_machine_words=2048)
+
+
+@pytest.mark.parametrize("delta", (0.25, 0.35, 0.5))
+@pytest.mark.parametrize("broken", (False, True))
+def test_engines_bit_identical_verification(delta, broken):
+    g, _ = known_mst_instance("random", ENGINE_N, extra_m=ENGINE_EXTRA_M,
+                              rng=int(delta * 100))
+    if broken:
+        g = perturb_break_mst(g, rng=7)
+    rl = verify_mst(g, engine="local")
+    rd = verify_mst(g, engine="distributed", config=_dist_config(delta))
+    assert rl.is_mst == rd.is_mst
+    assert rl.n_violations == rd.n_violations
+    np.testing.assert_array_equal(rl.violating_edges, rd.violating_edges)
+    np.testing.assert_array_equal(rl.pathmax, rd.pathmax)
+    assert rl.rounds == rd.rounds
+
+
+@pytest.mark.parametrize("delta", (0.25, 0.35, 0.5))
+def test_engines_bit_identical_sensitivity(delta):
+    g, _ = known_mst_instance("binary", ENGINE_N, extra_m=ENGINE_EXTRA_M,
+                              rng=int(delta * 1000))
+    sl = mst_sensitivity(g, engine="local")
+    sd = mst_sensitivity(g, engine="distributed", config=_dist_config(delta))
+    np.testing.assert_array_equal(sl.sensitivity, sd.sensitivity)
+    np.testing.assert_array_equal(sl.mc, sd.mc)
+    np.testing.assert_array_equal(sl.pathmax, sd.pathmax)
+    assert sl.rounds == sd.rounds

@@ -27,6 +27,7 @@ def test_examples_directory_complete():
         "regional_grid_forest.py",
         "lower_bound_demo.py",
         "scaling_study.py",
+        "weight_update_service.py",
     } <= names
 
 
@@ -53,6 +54,13 @@ def test_backbone_planning():
     out = run_example("backbone_sensitivity_planning.py")
     assert "priced out" in out
     assert "required discount" in out
+
+
+def test_weight_update_service():
+    out = run_example("weight_update_service.py")
+    assert "served 1,000,000 weight-update queries" in out
+    assert "standby replacements" in out
+    assert "keeps the backbone optimal" in out
 
 
 @pytest.mark.slow

@@ -1,0 +1,185 @@
+"""Oracle correctness: brute-force cross-checks against MST recompute.
+
+Every ``survives``/``entry_threshold``/``replacement_edge`` answer is
+validated by actually changing the weight and re-running Kruskal
+(``seq_mst``), including exact-tie queries and bridge (infinite
+sensitivity) edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.seq_mst import kruskal_mst, mst_weight
+from repro.core.results import SensitivityResult
+from repro.core.sensitivity import mst_sensitivity
+from repro.errors import ValidationError
+from repro.graph.generators import known_mst_instance
+from repro.graph.tree import RootedTree
+from repro.oracle import SensitivityOracle, build_oracle
+
+EPS = 0.005
+
+
+def brute_survives(g, e, x) -> bool:
+    """Ground truth: is the flagged tree still an MST with w(e)=x?"""
+    w = g.w.copy()
+    w[e] = x
+    g2 = g.with_weights(w)
+    tree_sum = g2.w[g2.tree_mask].sum()
+    return bool(np.isclose(tree_sum, mst_weight(g2), rtol=1e-9, atol=1e-9))
+
+
+def candidate_weights(g, oracle, e):
+    """Original weight, both sides of the threshold, the exact tie, and
+    far-out extremes."""
+    thr = oracle.threshold[e]
+    cands = [float(g.w[e]), 1e9, -1e9]
+    if np.isfinite(thr):
+        cands += [float(thr), float(thr) - EPS, float(thr) + EPS]
+    return cands
+
+
+@pytest.mark.parametrize("shape,seed,mode", [
+    ("random", 0, "mst"),
+    ("random", 1, "tight"),     # exact ties with the path maximum
+    ("caterpillar", 2, "mst"),
+    ("binary", 3, "tight"),
+])
+def test_survives_matches_recompute(shape, seed, mode):
+    g, _ = known_mst_instance(shape, 16, extra_m=24, rng=seed, mode=mode)
+    oracle = build_oracle(g)
+    for e in range(g.m):
+        for x in candidate_weights(g, oracle, e):
+            assert oracle.survives(e, x) == brute_survives(g, e, x), \
+                f"edge {e} (tree={bool(g.tree_mask[e])}) at weight {x}"
+
+
+def test_exact_tie_queries_survive():
+    g, _ = known_mst_instance("random", 20, extra_m=30, rng=5, mode="tight")
+    oracle = build_oracle(g)
+    # "tight" mode plants non-tree edges at exactly their path maximum:
+    # zero sensitivity, and a query at the threshold itself must survive
+    nt = np.flatnonzero(~g.tree_mask)
+    tied = nt[oracle.sensitivity_bulk(nt) == 0.0]
+    assert len(tied) > 0
+    for e in tied:
+        assert oracle.entry_threshold(e) == g.w[e]
+        assert oracle.survives(e, float(g.w[e]))
+        assert brute_survives(g, int(e), float(g.w[e]))
+
+
+def test_bridges_have_infinite_sensitivity():
+    # only 3 extra edges on 30 vertices: most tree edges are uncovered
+    g, _ = known_mst_instance("random", 30, extra_m=3, rng=7)
+    oracle = build_oracle(g)
+    tree_idx = np.flatnonzero(g.tree_mask)
+    bridges = [int(e) for e in tree_idx
+               if not np.isfinite(oracle.sensitivity(e))]
+    assert bridges, "instance should contain bridges"
+    for e in bridges:
+        assert oracle.replacement_edge(e) is None
+        assert oracle.survives(e, 1e12)
+        assert brute_survives(g, e, 1e12)
+
+
+def test_replacement_edge_is_cheapest_cover():
+    g, _ = known_mst_instance("random", 18, extra_m=40, rng=11)
+    r = mst_sensitivity(g)
+    oracle = SensitivityOracle.from_result(g, r)
+    tu, tv, tw = g.tree_edges()
+    tree = RootedTree.from_edges(g.n, tu, tv, tw, root=r.root)
+    nt_idx = np.flatnonzero(~g.tree_mask)
+
+    def covers(f, child) -> bool:
+        au = tree.is_ancestor(np.array([child]), np.array([g.u[f]]))[0]
+        av = tree.is_ancestor(np.array([child]), np.array([g.v[f]]))[0]
+        return bool(au) != bool(av)
+
+    for e in np.flatnonzero(g.tree_mask):
+        child = int(g.u[e] if r.parent[g.u[e]] == g.v[e] else g.v[e])
+        cover_ws = [g.w[f] for f in nt_idx if covers(f, child)]
+        f = oracle.replacement_edge(int(e))
+        if not cover_ws:
+            assert f is None
+            continue
+        assert f is not None and not g.tree_mask[f]
+        assert covers(f, child)
+        assert g.w[f] == min(cover_ws) == oracle.threshold[e]
+        # pricing e past its threshold really swaps in an edge of that weight
+        w2 = g.w.copy()
+        w2[e] = oracle.threshold[e] + 1.0
+        new_mst, new_total = kruskal_mst(g.with_weights(w2))
+        old_tree_sum = g.w[g.tree_mask].sum()
+        expected = old_tree_sum - g.w[e] + oracle.threshold[e]
+        assert np.isclose(new_total, expected, rtol=1e-9, atol=1e-9)
+        assert e not in set(new_mst.tolist())
+
+
+def test_bulk_agrees_with_point_queries():
+    g, _ = known_mst_instance("binary", 63, extra_m=120, rng=13)
+    oracle = build_oracle(g)
+    rng = np.random.default_rng(42)
+    edges = rng.integers(0, g.m, size=500)
+    weights = rng.uniform(-1.0, 3.0, size=500)
+    bulk = oracle.survives_bulk(edges, weights)
+    point = np.array([oracle.survives(int(e), float(x))
+                      for e, x in zip(edges, weights)])
+    np.testing.assert_array_equal(bulk, point)
+    np.testing.assert_array_equal(oracle.sensitivity_bulk(edges),
+                                  g.w[edges] * 0 + oracle.sens[edges])
+
+
+def test_query_validation_errors():
+    g, _ = known_mst_instance("random", 12, extra_m=10, rng=1)
+    oracle = build_oracle(g)
+    tree_e = int(np.flatnonzero(g.tree_mask)[0])
+    nontree_e = int(np.flatnonzero(~g.tree_mask)[0])
+    with pytest.raises(ValidationError):
+        oracle.replacement_edge(nontree_e)
+    with pytest.raises(ValidationError):
+        oracle.entry_threshold(tree_e)
+    with pytest.raises(IndexError):
+        oracle.survives(g.m, 1.0)
+    with pytest.raises(IndexError):
+        oracle.survives_bulk([0, -1], [1.0, 1.0])
+    with pytest.raises(ValidationError):
+        oracle.survives_bulk([0, 1], [1.0])
+
+
+def test_oracle_rejects_foreign_result():
+    g1, _ = known_mst_instance("random", 20, extra_m=30, rng=1)
+    g2, _ = known_mst_instance("random", 20, extra_m=30, rng=2)
+    r1 = mst_sensitivity(g1)
+    with pytest.raises(ValidationError):
+        SensitivityOracle.from_result(g2, r1)
+
+
+def test_save_load_roundtrip(tmp_path):
+    g, _ = known_mst_instance("caterpillar", 40, extra_m=80, rng=3)
+    oracle = build_oracle(g)
+    path = tmp_path / "oracle.npz"
+    oracle.save(path)
+    back = SensitivityOracle.load(path)
+    assert back.precompute_rounds == oracle.precompute_rounds
+    rng = np.random.default_rng(0)
+    edges = rng.integers(0, g.m, 200)
+    weights = rng.uniform(0, 2, 200)
+    np.testing.assert_array_equal(oracle.survives_bulk(edges, weights),
+                                  back.survives_bulk(edges, weights))
+    np.testing.assert_array_equal(oracle.cover_edge, back.cover_edge)
+
+
+def test_oracle_from_rehydrated_result(tmp_path):
+    """SensitivityResult.save → load → oracle must answer identically."""
+    g, _ = known_mst_instance("random", 30, extra_m=45, rng=9)
+    r = mst_sensitivity(g)
+    path = tmp_path / "sens.npz"
+    r.save(path)
+    r2 = SensitivityResult.load(path)
+    o1 = SensitivityOracle.from_result(g, r)
+    o2 = SensitivityOracle.from_result(g, r2)
+    np.testing.assert_array_equal(o1.threshold, o2.threshold)
+    np.testing.assert_array_equal(o1.cover_edge, o2.cover_edge)
+    assert r2.rounds == r.rounds
+    assert r2.report.rounds_total == r.report.rounds_total
+    assert r2.report.rounds_by_phase == r.report.rounds_by_phase

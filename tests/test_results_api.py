@@ -78,3 +78,52 @@ class TestSensitivityResult:
 
     def test_core_rounds_property(self):
         assert 0 < self.r.core_rounds <= self.r.rounds
+
+    def test_pipeline_internals_exposed(self):
+        # the oracle layer relies on these artefacts being present
+        assert self.r.parent is not None and len(self.r.parent) == self.g.n
+        assert self.r.parent[self.r.root] == self.r.root
+        assert self.r.pathmax is not None
+        assert len(self.r.pathmax) == len(self.r.nontree_index)
+
+
+class TestResultSerialization:
+    def test_sensitivity_roundtrip(self, tmp_path):
+        g, _ = known_mst_instance("random", 70, extra_m=140, rng=4)
+        r = repro.mst_sensitivity(g)
+        path = tmp_path / "sens.npz"
+        r.save(path)
+        back = SensitivityResult.load(path)
+        np.testing.assert_array_equal(back.sensitivity, r.sensitivity)
+        np.testing.assert_array_equal(back.mc, r.mc)
+        np.testing.assert_array_equal(back.parent, r.parent)
+        np.testing.assert_array_equal(back.pathmax, r.pathmax)
+        assert back.root == r.root
+        assert back.notes_peak == r.notes_peak
+        assert back.report.rounds_by_phase == r.report.rounds_by_phase
+        assert back.report.peak_global_words == r.report.peak_global_words
+        assert back.core_rounds == r.core_rounds
+
+    def test_verification_roundtrip(self, tmp_path):
+        from repro.graph.generators import perturb_break_mst
+
+        g, _ = known_mst_instance("random", 70, extra_m=140, rng=5)
+        r = repro.verify_mst(perturb_break_mst(g, rng=6))
+        path = tmp_path / "verify.npz"
+        r.save(path)
+        back = VerificationResult.load(path)
+        assert back.is_mst is False and back.reason == r.reason
+        assert back.n_violations == r.n_violations
+        np.testing.assert_array_equal(back.violating_edges, r.violating_edges)
+        np.testing.assert_array_equal(back.pathmax, r.pathmax)
+        assert back.cluster_counts == r.cluster_counts
+        assert back.report.primitives_by_phase == r.report.primitives_by_phase
+        assert back.substrate_rounds == r.substrate_rounds
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        g, _ = known_mst_instance("random", 40, extra_m=60, rng=7)
+        r = repro.mst_sensitivity(g)
+        path = tmp_path / "sens.npz"
+        r.save(path)
+        with pytest.raises(ValueError):
+            VerificationResult.load(path)
