@@ -15,7 +15,10 @@ from repro.baselines import verify_by_recompute_mpc
 from repro.core.verification import verify_mst
 from repro.mpc import LocalRuntime
 
-from common import DIAMETERS, N_DEFAULT, diameter_instance
+from common import DIAMETERS, N_DEFAULT, diameter_instance, emit_json, timed
+
+HEADERS = ["D_T", "core rounds (Thm 3.1)", "end-to-end rounds",
+           "recompute baseline rounds"]
 
 
 def _sweep():
@@ -32,21 +35,23 @@ def _sweep():
 
 
 def test_e1_table(table_sink, benchmark):
-    rows = _sweep()
+    with timed() as t:
+        rows = _sweep()
     g = diameter_instance(N_DEFAULT, DIAMETERS[2])
     benchmark.pedantic(
         lambda: verify_mst(g, oracle_labels=True), rounds=3, iterations=1
     )
     fit = fit_log([r[0] for r in rows], [r[1] for r in rows])
+    emit_json(
+        "E1", {"n": N_DEFAULT, "diameters": list(DIAMETERS), "m_factor": 3},
+        HEADERS, rows, wall_s=t.wall_s,
+        fit={"slope": fit.slope, "intercept": fit.intercept, "r2": fit.r2},
+    )
     table_sink(
         "E1: verification rounds vs D_T  "
         f"(n={N_DEFAULT}, m=3n; core fit: {fit.slope:.1f}*log2(D)"
         f"{fit.intercept:+.1f}, R2={fit.r2:.3f})",
-        render_table(
-            ["D_T", "core rounds (Thm 3.1)", "end-to-end rounds",
-             "recompute baseline rounds"],
-            rows,
-        ),
+        render_table(HEADERS, rows),
     )
     assert fit.r2 > 0.9
     core = [r[1] for r in rows]

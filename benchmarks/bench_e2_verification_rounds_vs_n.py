@@ -14,9 +14,11 @@ from repro.core.verification import verify_mst
 from repro.graph.generators import attach_nontree_edges, path_tree
 from repro.mpc import LocalRuntime
 
-from common import N_SWEEP, diameter_instance
+from common import N_SWEEP, diameter_instance, emit_json, timed
 
 FIXED_D = 16
+HEADERS = ["n", "core rounds (Thm 3.1)", "Boruvka rounds (path MST)",
+           "Boruvka phases"]
 
 
 def _sweep():
@@ -33,18 +35,17 @@ def _sweep():
 
 
 def test_e2_table(table_sink, benchmark):
-    rows = _sweep()
+    with timed() as t:
+        rows = _sweep()
     g = diameter_instance(N_SWEEP[1], FIXED_D)
     benchmark.pedantic(
         lambda: verify_mst(g, oracle_labels=True), rounds=3, iterations=1
     )
+    emit_json("E2", {"n_sweep": list(N_SWEEP), "fixed_d": FIXED_D},
+              HEADERS, rows, wall_s=t.wall_s)
     table_sink(
         f"E2: rounds vs n at fixed D_T={FIXED_D}",
-        render_table(
-            ["n", "core rounds (Thm 3.1)", "Boruvka rounds (path MST)",
-             "Boruvka phases"],
-            rows,
-        ),
+        render_table(HEADERS, rows),
     )
     core = [r[1] for r in rows]
     base = [r[2] for r in rows]

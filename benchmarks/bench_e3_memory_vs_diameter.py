@@ -13,10 +13,12 @@ from repro.baselines import naive_verify_mst
 from repro.core.verification import verify_mst
 from repro.mpc import LocalRuntime
 
-from common import diameter_instance
+from common import QUICK, diameter_instance, emit_json, scaled, timed
 
-N = 2048
-DIAMS = (8, 64, 512, 1500)
+N = scaled(2048)
+DIAMS = (8, 64, 200) if QUICK else (8, 64, 512, 1500)
+HEADERS = ["D_T", "pipeline (Thm 3.1)", "naive path-collection (§3)",
+           "naive/pipeline"]
 
 
 def _sweep():
@@ -37,18 +39,17 @@ def _sweep():
 
 
 def test_e3_table(table_sink, benchmark):
-    rows = _sweep()
+    with timed() as t:
+        rows = _sweep()
     g = diameter_instance(N, DIAMS[2])
     rt = LocalRuntime()
     benchmark.pedantic(lambda: naive_verify_mst(LocalRuntime(), g),
                        rounds=3, iterations=1)
+    emit_json("E3", {"n": N, "diameters": list(DIAMS)}, HEADERS, rows,
+              wall_s=t.wall_s)
     table_sink(
         f"E3: peak global memory (words) vs D_T  (n={N}, m=3n)",
-        render_table(
-            ["D_T", "pipeline (Thm 3.1)", "naive path-collection (§3)",
-             "naive/pipeline"],
-            rows,
-        ),
+        render_table(HEADERS, rows),
     )
     pipeline = [r[1] for r in rows]
     naive = [r[2] for r in rows]

@@ -11,7 +11,10 @@ from repro.analysis import fit_log, render_table
 from repro.core.sensitivity import mst_sensitivity
 from repro.core.verification import verify_mst
 
-from common import DIAMETERS, N_DEFAULT, diameter_instance
+from common import DIAMETERS, N_DEFAULT, diameter_instance, emit_json, timed
+
+HEADERS = ["D_T", "verify core", "sens core", "sens/verify",
+           "notes peak (<= O(n))"]
 
 
 def _sweep():
@@ -26,21 +29,23 @@ def _sweep():
 
 
 def test_e4_table(table_sink, benchmark):
-    rows = _sweep()
+    with timed() as t:
+        rows = _sweep()
     g = diameter_instance(N_DEFAULT, DIAMETERS[2])
     benchmark.pedantic(
         lambda: mst_sensitivity(g, oracle_labels=True), rounds=3,
         iterations=1,
     )
     fit = fit_log([r[0] for r in rows], [r[2] for r in rows])
+    emit_json(
+        "E4", {"n": N_DEFAULT, "diameters": list(DIAMETERS)},
+        HEADERS, rows, wall_s=t.wall_s,
+        fit={"slope": fit.slope, "intercept": fit.intercept, "r2": fit.r2},
+    )
     table_sink(
         f"E4: sensitivity rounds vs D_T  (n={N_DEFAULT}; sens fit: "
         f"{fit.slope:.1f}*log2(D){fit.intercept:+.1f}, R2={fit.r2:.3f})",
-        render_table(
-            ["D_T", "verify core", "sens core", "sens/verify",
-             "notes peak (<= O(n))"],
-            rows,
-        ),
+        render_table(HEADERS, rows),
     )
     assert fit.r2 > 0.9
     for _, v, s, ratio, notes in rows:

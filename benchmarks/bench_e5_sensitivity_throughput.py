@@ -15,9 +15,11 @@ from repro.analysis import render_table
 from repro.baselines import sequential_sensitivity
 from repro.core.sensitivity import mst_sensitivity
 
-from common import shape_instance
+from common import QUICK, emit_json, shape_instance, timed
 
-SIZES = (512, 2048, 8192)
+SIZES = (256, 512, 1024) if QUICK else (512, 2048, 8192)
+HEADERS = ["n", "m", "core rounds", "mpc wall (s)", "oracle wall (s)",
+           "exact match"]
 
 
 def _sweep():
@@ -37,17 +39,15 @@ def _sweep():
 
 
 def test_e5_table(table_sink, benchmark):
-    rows = _sweep()
+    with timed() as t:
+        rows = _sweep()
     g = shape_instance("random", SIZES[1], seed=3)
     benchmark.pedantic(
         lambda: mst_sensitivity(g, oracle_labels=True), rounds=3,
         iterations=1,
     )
+    emit_json("E5", {"sizes": list(SIZES)}, HEADERS, rows, wall_s=t.wall_s)
     table_sink(
         "E5: sensitivity at scale — MPC pipeline vs sequential oracle",
-        render_table(
-            ["n", "m", "core rounds", "mpc wall (s)", "oracle wall (s)",
-             "exact match"],
-            rows,
-        ),
+        render_table(HEADERS, rows),
     )

@@ -11,9 +11,11 @@ import pytest
 from repro.analysis import fit_log, render_table
 from repro.core.verification import verify_mst
 
-from common import lower_bound_instance
+from common import QUICK, emit_json, lower_bound_instance, timed
 
-SIZES = (64, 256, 1024, 4096)
+SIZES = (64, 256, 1024) if QUICK else (64, 256, 1024, 4096)
+HEADERS = ["n", "diam(G)", "D_T ~", "rounds (1-cycle side)",
+           "2-cycle verdict"]
 
 
 def _sweep():
@@ -29,20 +31,21 @@ def _sweep():
 
 
 def test_e6_table(table_sink, benchmark):
-    rows = _sweep()
+    with timed() as t:
+        rows = _sweep()
     g = lower_bound_instance(SIZES[2], False)
     benchmark.pedantic(
         lambda: verify_mst(g, oracle_labels=True), rounds=3, iterations=1
     )
     fit = fit_log([r[0] for r in rows], [r[3] for r in rows])
+    emit_json(
+        "E6", {"sizes": list(SIZES)}, HEADERS, rows, wall_s=t.wall_s,
+        fit={"slope": fit.slope, "intercept": fit.intercept, "r2": fit.r2},
+    )
     table_sink(
         f"E6: 1-vs-2-cycle hard family (rounds fit: {fit.slope:.1f}"
         f"*log2(n){fit.intercept:+.1f}, R2={fit.r2:.3f})",
-        render_table(
-            ["n", "diam(G)", "D_T ~", "rounds (1-cycle side)",
-             "2-cycle verdict"],
-            rows,
-        ),
+        render_table(HEADERS, rows),
     )
     assert fit.r2 > 0.8
     r = [row[3] for row in rows]

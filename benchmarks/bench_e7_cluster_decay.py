@@ -14,10 +14,10 @@ from repro.core.sensitivity import mst_sensitivity
 from repro.graph.generators import tree_instance
 from repro.mpc import LocalRuntime
 
-from common import shape_instance
+from common import emit_json, scaled, shape_instance, timed
 
 SHAPES = ("path", "binary", "caterpillar", "random")
-N = 4096
+N = scaled(4096)
 
 
 def _decay_curve():
@@ -57,8 +57,11 @@ def _shape_summary():
 
 
 def test_e7_decay_table(table_sink, benchmark):
-    rows, h = _decay_curve()
+    with timed() as t:
+        rows, h = _decay_curve()
     benchmark.pedantic(_decay_curve, rounds=3, iterations=1)
+    emit_json("E7", {"n": N, "shape": "caterpillar", "target": h.target},
+              ["step", "clusters", "ratio vs prev"], rows, wall_s=t.wall_s)
     table_sink(
         f"E7a: cluster-count decay per contraction step "
         f"(caterpillar, n={N}, target={h.target})",

@@ -14,9 +14,12 @@ from repro.core.lca import all_edges_lca
 from repro.graph.generators import backbone_tree
 from repro.mpc import LocalRuntime
 
-N = 4096
-N_QUERIES = 8192
-DIAMS = (8, 32, 128, 512, 2048)
+from common import QUICK, emit_json, scaled, timed
+
+N = scaled(4096)
+N_QUERIES = scaled(8192)
+DIAMS = (8, 32, 128) if QUICK else (8, 32, 128, 512, 2048)
+HEADERS = ["D_T", "clustering rounds", "LCA rounds", "total", "peak words"]
 
 
 def _run(d, seed=0):
@@ -44,19 +47,21 @@ def _sweep():
 
 
 def test_e8_table(table_sink, benchmark):
-    rows = _sweep()
+    with timed() as t:
+        rows = _sweep()
     benchmark.pedantic(lambda: _run(DIAMS[2]), rounds=3, iterations=1)
     total = [r[3] for r in rows]
     fit = fit_log(DIAMS, total)
+    emit_json(
+        "E8", {"n": N, "n_queries": N_QUERIES, "diameters": list(DIAMS)},
+        HEADERS, rows, wall_s=t.wall_s,
+        fit={"slope": fit.slope, "intercept": fit.intercept, "r2": fit.r2},
+    )
     table_sink(
         f"E8: all-edges LCA rounds vs D_T (n={N}, {N_QUERIES} query "
         f"edges; fit {fit.slope:.1f}*log2(D){fit.intercept:+.1f}, "
         f"R2={fit.r2:.3f})",
-        render_table(
-            ["D_T", "clustering rounds", "LCA rounds", "total",
-             "peak words"],
-            rows,
-        ),
+        render_table(HEADERS, rows),
     )
     assert fit.r2 > 0.9
     words = [r[4] for r in rows]

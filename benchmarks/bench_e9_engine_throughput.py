@@ -15,9 +15,11 @@ from repro.analysis import render_table
 from repro.core.verification import verify_mst
 from repro.mpc import MPCConfig
 
-from common import shape_instance
+from common import emit_json, shape_instance, timed
 
 SIZES = (48, 96, 192)
+HEADERS = ["n", "m", "model rounds (both)", "transport rounds",
+           "local wall (s)", "message-level wall (s)", "overhead x"]
 
 
 def _sweep():
@@ -42,19 +44,17 @@ def _sweep():
 
 
 def test_e9_table(table_sink, benchmark):
-    rows = _sweep()
+    with timed() as t:
+        rows = _sweep()
     g = shape_instance("random", SIZES[0], seed=5)
     benchmark.pedantic(
         lambda: verify_mst(g, engine="distributed",
                            config=MPCConfig(delta=0.6)),
         rounds=2, iterations=1,
     )
+    emit_json("E9", {"sizes": list(SIZES)}, HEADERS, rows, wall_s=t.wall_s)
     table_sink(
         "E9: engine equivalence and message-level overhead "
         "(verification pipeline)",
-        render_table(
-            ["n", "m", "model rounds (both)", "transport rounds",
-             "local wall (s)", "message-level wall (s)", "overhead x"],
-            rows,
-        ),
+        render_table(HEADERS, rows),
     )

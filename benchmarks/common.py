@@ -1,9 +1,21 @@
-"""Shared instance builders and sizing for the benchmark suite."""
+"""Shared instance builders, sizing and result emission for benchmarks.
+
+Every ``bench_e*.py`` both prints its experiment table (terminal
+summary) and writes a machine-readable ``BENCH_E*.json`` via
+:func:`emit_json` — params, the table rows (which carry the round
+counts), and wall-clock — so the perf trajectory is tracked across
+commits. ``REPRO_BENCH_QUICK=1`` shrinks the sweep sizes for CI smoke
+runs (see :func:`scaled`); ``REPRO_BENCH_RESULTS`` overrides the output
+directory (default ``benchmarks/results``).
+"""
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from functools import lru_cache
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.graph.generators import (
     attach_nontree_edges,
@@ -13,12 +25,70 @@ from repro.graph.generators import (
 )
 from repro.graph.graph import WeightedGraph
 
+#: CI smoke mode: shrink sweeps so the whole suite runs in seconds.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def scaled(n: int, floor: int = 256) -> int:
+    """Full-size ``n`` normally; ``max(floor, n // 8)`` under QUICK."""
+    return n if not QUICK else max(floor, n // 8)
+
+
 #: Default sweep sizes — large enough for clean shapes, small enough for
 #: the whole suite to run in a few minutes.
-N_DEFAULT = 4096
+N_DEFAULT = scaled(4096)
 EXTRA_M_FACTOR = 2
-DIAMETERS = (8, 32, 128, 512, 2048)
-N_SWEEP = (1024, 2048, 4096, 8192)
+DIAMETERS = (8, 32, 128) if QUICK else (8, 32, 128, 512, 2048)
+N_SWEEP = (256, 512, 1024) if QUICK else (1024, 2048, 4096, 8192)
+
+RESULTS_DIR = os.environ.get(
+    "REPRO_BENCH_RESULTS",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+)
+
+
+def emit_json(
+    experiment: str,
+    params: dict,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    wall_s: Optional[float] = None,
+    **extra,
+) -> str:
+    """Write ``BENCH_<EXPERIMENT>.json`` alongside the printed table.
+
+    ``rows`` are the experiment's table rows (round counts live there);
+    ``params`` the sweep configuration; ``wall_s`` the wall-clock of the
+    sweep. Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{experiment.upper()}.json")
+    payload = {
+        "experiment": experiment.upper(),
+        "quick": QUICK,
+        "params": params,
+        "headers": list(headers),
+        "rows": [list(r) for r in rows],
+        "wall_s": round(wall_s, 4) if wall_s is not None else None,
+        "unix_time": round(time.time(), 1),
+    }
+    payload.update(extra)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")
+    return path
+
+
+class timed:
+    """``with timed() as t: ...`` → ``t.wall_s`` (sweep wall-clock)."""
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.wall_s = time.perf_counter() - self._t0
+        return False
 
 
 @lru_cache(maxsize=64)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Run the whole benchmark suite and collect the BENCH_E*.json results.
+
+Wraps ``pytest benchmarks/`` so one command reproduces every experiment
+and leaves the machine-readable perf trajectory in
+``benchmarks/results/`` (override with ``--out-dir`` or the
+``REPRO_BENCH_RESULTS`` env var). ``--quick`` shrinks every sweep for
+CI smoke runs (sets ``REPRO_BENCH_QUICK=1``).
+
+Examples::
+
+    python benchmarks/run_all.py                 # full suite
+    python benchmarks/run_all.py --quick         # CI smoke
+    python benchmarks/run_all.py --only e12      # one experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import time
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="shrink sweeps for a fast smoke run")
+    ap.add_argument("--only", type=str, default=None, metavar="EXPR",
+                    help="pytest -k filter, e.g. 'e12' or 'e1 or e4'")
+    ap.add_argument("--out-dir", type=str, default=None, metavar="DIR",
+                    help="where BENCH_E*.json land (default "
+                         "benchmarks/results)")
+    ap.add_argument("--benchmark-timings", action="store_true",
+                    help="also run pytest-benchmark timings (slower)")
+    args = ap.parse_args(argv)
+
+    env = os.environ.copy()
+    if args.quick:
+        env["REPRO_BENCH_QUICK"] = "1"
+    out_dir = args.out_dir or os.path.join(BENCH_DIR, "results")
+    env["REPRO_BENCH_RESULTS"] = out_dir
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    # bench modules don't match pytest's test_*.py discovery pattern, so
+    # pass them explicitly (same as the documented bench_*.py glob)
+    bench_files = sorted(glob.glob(os.path.join(BENCH_DIR, "bench_e*.py")))
+    cmd = [sys.executable, "-m", "pytest", *bench_files, "-q"]
+    cmd.append("--benchmark-only" if args.benchmark_timings
+               else "--benchmark-disable")
+    if args.only:
+        cmd += ["-k", args.only]
+    t0 = time.time()
+    rc = subprocess.call(cmd, env=env)
+
+    # only count files this invocation (re)wrote — out_dir may hold
+    # stale results from earlier runs
+    produced = sorted(
+        p for p in glob.glob(os.path.join(out_dir, "BENCH_*.json"))
+        if os.path.getmtime(p) >= t0 - 1
+    )
+    if produced:
+        print(f"\n{len(produced)} result files in {out_dir}:")
+        for path in produced:
+            with open(path) as fh:
+                payload = json.load(fh)
+            wall = payload.get("wall_s")
+            wall_str = f"{wall:8.2f}s" if wall is not None else "       -"
+            print(f"  {os.path.basename(path):20s} {wall_str}  "
+                  f"rows={len(payload.get('rows', []))} "
+                  f"quick={payload.get('quick')}")
+    else:
+        print(f"no BENCH_*.json produced in {out_dir}", file=sys.stderr)
+        rc = rc or 1
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

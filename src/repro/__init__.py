@@ -23,6 +23,7 @@ from .graph.graph import WeightedGraph
 from .graph.tree import RootedTree
 from .mpc import LocalRuntime, MPCConfig, Table, make_runtime
 from .oracle import SensitivityOracle, build_oracle
+from .pipeline import ArtifactStore
 
 __version__ = "1.1.0"
 
@@ -38,6 +39,7 @@ __all__ = [
     "perturb_break_mst",
     "SensitivityOracle",
     "build_oracle",
+    "ArtifactStore",
     "BatchRunner",
     "JobSpec",
     "make_workload",

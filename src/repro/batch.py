@@ -109,6 +109,7 @@ class JobResult:
     bridges: Optional[int] = None        # sensitivity jobs
     min_slack: Optional[float] = None    # sensitivity jobs
     oracle_path: Optional[str] = None
+    cache_hits: Optional[int] = None     # stage artifacts replayed (cache_dir)
     wall_s: float = 0.0
 
     def as_record(self) -> Dict:
@@ -120,28 +121,35 @@ RECORD_FIELDS = [f for f in JobResult.__dataclass_fields__]
 
 
 def _execute_job(payload: Tuple[int, JobSpec, Optional[MPCConfig],
-                                Optional[str]]) -> JobResult:
+                                Optional[str], Optional[str]]) -> JobResult:
     """Pool worker: build the instance, run the pipeline, flatten the result."""
-    job_id, spec, config, persist_dir = payload
+    job_id, spec, config, persist_dir, cache_dir = payload
     t0 = time.perf_counter()
     out = JobResult(
         job_id=job_id, kind=spec.kind, shape=spec.shape, n=spec.n, m=0,
         seed=spec.seed, engine=spec.engine, break_mst=spec.break_mst, ok=False,
     )
+    store = None
     try:
+        if cache_dir is not None:
+            from .pipeline import ArtifactStore
+
+            store = ArtifactStore(cache_dir=cache_dir)
         graph = spec.build()
         out.m = graph.m
         if spec.kind == "verify":
             from .core.verification import verify_mst
 
-            r = verify_mst(graph, engine=spec.engine, config=config)
+            r = verify_mst(graph, engine=spec.engine, config=config,
+                           store=store)
             out.is_mst = r.is_mst
             out.n_violations = r.n_violations
         else:
             from .core.sensitivity import mst_sensitivity
             from .oracle import SensitivityOracle
 
-            r = mst_sensitivity(graph, engine=spec.engine, config=config)
+            r = mst_sensitivity(graph, engine=spec.engine, config=config,
+                                store=store)
             tree_sens = r.sensitivity[r.tree_index]
             finite = np.isfinite(tree_sens)
             out.bridges = int((~finite).sum())
@@ -159,6 +167,8 @@ def _execute_job(payload: Tuple[int, JobSpec, Optional[MPCConfig],
         out.ok = True
     except Exception as exc:  # noqa: BLE001 - report, don't kill the pool
         out.error = f"{type(exc).__name__}: {exc}"
+    if store is not None:
+        out.cache_hits = store.hits
     out.wall_s = round(time.perf_counter() - t0, 4)
     return out
 
@@ -169,19 +179,30 @@ class BatchRunner:
     ``processes=1`` runs inline (no pool — handy under debuggers and in
     tests); otherwise a ``multiprocessing`` pool is used and results come
     back in submission order regardless of completion order.
+
+    ``cache_dir`` enables warm-starting: every worker reads/writes a
+    persistent :class:`~repro.pipeline.ArtifactStore` there, so jobs
+    that share a graph (e.g. a verify + sensitivity pair, or an
+    ablation sweep varying only the clustering knobs) run their common
+    stage prefix once and replay it afterwards — results and charged
+    rounds stay bit-identical to cold runs. With a pool, sharing is
+    best-effort (concurrent jobs may both run a prefix cold); inline
+    execution (``processes=1``) reuses deterministically.
     """
 
     def __init__(self, config: Optional[MPCConfig] = None,
                  processes: Optional[int] = None,
-                 persist_dir: Optional[str] = None):
+                 persist_dir: Optional[str] = None,
+                 cache_dir: Optional[str] = None):
         self.config = config
         self.processes = processes
         self.persist_dir = persist_dir
+        self.cache_dir = cache_dir
 
     def run(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
         if self.persist_dir is not None:
             os.makedirs(self.persist_dir, exist_ok=True)
-        payloads = [(i, spec, self.config, self.persist_dir)
+        payloads = [(i, spec, self.config, self.persist_dir, self.cache_dir)
                     for i, spec in enumerate(jobs)]
         procs = self.processes or min(len(payloads), os.cpu_count() or 1)
         if procs <= 1 or len(payloads) <= 1:

@@ -4,6 +4,8 @@ Commands
 --------
 ``verify``       build (or perturb) an instance and run Theorem 3.1
 ``sensitivity``  run Theorem 4.1 and print the most fragile edges
+``pipeline``     print the stage DAG plan (and run it, warm-starting
+                 from an artifact cache)
 ``batch``        fan a mixed verify/sensitivity workload over a process pool
 ``sweep``        the headline experiment: rounds vs candidate-tree diameter
 ``lower-bound``  the Theorem 5.2 hard family
@@ -13,7 +15,8 @@ Examples::
     python -m repro verify --shape caterpillar --n 2000 --extra-m 4000
     python -m repro verify --shape random --n 500 --break-mst
     python -m repro sensitivity --shape binary --n 1023 --top 8
-    python -m repro batch --jobs 8 --n 300
+    python -m repro pipeline --kind sensitivity --n 500 --cache-dir /tmp/cache
+    python -m repro batch --jobs 8 --n 300 --cache-dir /tmp/cache
     python -m repro batch --jobs 12 --format json --out report.json
     python -m repro batch --jobs 6 --persist-oracles /tmp/oracles
     python -m repro sweep --n 4096 --diameters 8,32,128,512
@@ -74,6 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="how many fragile edges to list")
 
     sp = sub.add_parser(
+        "pipeline",
+        help="print the stage DAG plan and run it against an artifact cache",
+    )
+    instance_args(sp)
+    sp.add_argument("--kind", choices=["verify", "sensitivity"],
+                    default="verify")
+    sp.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                    help="persistent artifact store (warm-start across runs)")
+    sp.add_argument("--coin-bias", type=float, default=0.5)
+    sp.add_argument("--reduction-exponent", type=float, default=1.0)
+    sp.add_argument("--plan-only", action="store_true",
+                    help="print the stage plan without executing")
+
+    sp = sub.add_parser(
         "batch", help="run many verify/sensitivity jobs across a process pool"
     )
     sp.add_argument("--jobs", type=int, default=8,
@@ -99,6 +116,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write per-job records to this file (default stdout)")
     sp.add_argument("--persist-oracles", type=str, default=None, metavar="DIR",
                     help="save a rehydratable sensitivity oracle per job here")
+    sp.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                    help="shared stage-artifact cache: jobs on one graph "
+                         "run their common pipeline prefix once")
 
     sp = sub.add_parser("sweep", help="rounds vs D_T experiment")
     sp.add_argument("--n", type=int, default=4096)
@@ -165,6 +185,67 @@ def cmd_sensitivity(args, out) -> int:
     return 0
 
 
+def cmd_pipeline(args, out) -> int:
+    from .pipeline import (
+        ArtifactStore, PipelineParams, run_sensitivity, run_verification,
+        sensitivity_pipeline, verification_pipeline,
+    )
+
+    from .mpc import MPCConfig
+
+    g = _make_instance(args)
+    pipe = (sensitivity_pipeline() if args.kind == "sensitivity"
+            else verification_pipeline())
+    store = (ArtifactStore(cache_dir=args.cache_dir)
+             if args.cache_dir is not None else None)
+    # mirror exactly what the run will capture from its runtime config
+    # (for the local engine _config() is None, i.e. MPCConfig defaults),
+    # so the printed plan keys match the executed keys
+    cfg = _config(args) or MPCConfig()
+    params = PipelineParams(
+        engine=args.engine, oracle_labels=args.oracle_labels,
+        coin_bias=args.coin_bias, reduction_exponent=args.reduction_exponent,
+        cost_mode=cfg.cost_mode, delta=cfg.delta, seed=cfg.seed,
+        capacity_constant=cfg.capacity_constant,
+        min_machine_words=cfg.min_machine_words,
+        global_slack=cfg.global_slack,
+    )
+    out.write(f"instance: shape={args.shape} n={g.n} m={g.m} "
+              f"engine={args.engine}\n")
+    out.write(f"stage plan ({args.kind}):\n")
+    rows = []
+    for e in pipe.plan(g, params, store):
+        cached = "-" if e.cached is None else ("hit" if e.cached else "miss")
+        rows.append((e.name, e.group, ",".join(e.deps) or "-",
+                     ",".join(e.params) or "-", e.key, cached))
+    out.write(render_table(
+        ["stage", "phase", "depends on", "keyed by", "cache key", "cache"],
+        rows,
+    ))
+    if args.plan_only:
+        return 0
+    kw = dict(
+        engine=args.engine, config=_config(args),
+        oracle_labels=args.oracle_labels, coin_bias=args.coin_bias,
+        reduction_exponent=args.reduction_exponent, store=store,
+    )
+    if args.kind == "sensitivity":
+        r, run = run_sensitivity(g, **kw)
+        out.write(f"\nsensitivity done: rounds={r.rounds} "
+                  f"(core {r.core_rounds}), notes peak {r.notes_peak}\n")
+    else:
+        r, run = run_verification(g, **kw)
+        out.write(f"\nverification done: is_mst={r.is_mst} ({r.reason}), "
+                  f"rounds={r.rounds} (core {r.core_rounds})\n")
+    out.write(f"stages executed: {len(run.executed_stages)}, "
+              f"replayed from cache: {len(run.cached_stages)}\n")
+    if store is not None:
+        st = store.stats()
+        out.write(f"store: {st['entries']} artifacts, {st['hits']} hits, "
+                  f"{st['misses']} misses ({st['disk_hits']} from disk)\n")
+    return 0
+
+
 def cmd_batch(args, out) -> int:
     import json
 
@@ -182,7 +263,7 @@ def cmd_batch(args, out) -> int:
     )
     runner = BatchRunner(
         config=_config(args), processes=args.processes,
-        persist_dir=args.persist_oracles,
+        persist_dir=args.persist_oracles, cache_dir=args.cache_dir,
     )
     results = runner.run(jobs)
     records = [r.as_record() for r in results]
@@ -267,6 +348,7 @@ def main(argv=None, out=None) -> int:
         return {
             "verify": cmd_verify,
             "sensitivity": cmd_sensitivity,
+            "pipeline": cmd_pipeline,
             "batch": cmd_batch,
             "sweep": cmd_sweep,
             "lower-bound": cmd_lower_bound,

@@ -83,6 +83,7 @@ def verify_msf(
             violating_edges=np.empty(0, dtype=np.int64),
             nontree_index=np.flatnonzero(~graph.tree_mask), pathmax=None,
             diameter_estimate=0, rounds=rt.rounds, report=rt.report(),
+            cluster_counts=[], failed_stage="forest-validate",
         )
     root = int(anchors[0]) if len(anchors) else 0
     res = verify_mst(aug, runtime=rt, root=root, **kw)

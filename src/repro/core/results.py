@@ -28,6 +28,11 @@ class VerificationResult:
     ``pathmax`` is aligned with ``nontree_index`` (positions of non-tree
     edges in the input edge arrays); it doubles as the non-tree
     sensitivity input (Observation 4.2).
+
+    ``failed_stage`` is ``None`` on a completed pipeline (whatever the
+    verdict) and names the aborting stage otherwise (e.g. ``"validate"``
+    when the flagged tree is not spanning) — downstream consumers branch
+    on this status instead of probing for missing fields.
     """
 
     is_mst: bool
@@ -40,6 +45,7 @@ class VerificationResult:
     rounds: int
     report: CostReport
     cluster_counts: list = field(default_factory=list)
+    failed_stage: Optional[str] = None
 
     @property
     def core_rounds(self) -> int:
@@ -73,6 +79,7 @@ class VerificationResult:
                 "diameter_estimate": int(self.diameter_estimate),
                 "rounds": int(self.rounds),
                 "report": self.report.to_dict(),
+                "failed_stage": self.failed_stage,
             },
         )
 
@@ -92,6 +99,7 @@ class VerificationResult:
             rounds=meta["rounds"],
             report=CostReport.from_dict(meta["report"]),
             cluster_counts=arrays["cluster_counts"].tolist(),
+            failed_stage=meta.get("failed_stage"),
         )
 
 

@@ -13,24 +13,23 @@ from three sources:
 2. inter-cluster edges of the final cluster tree (Algorithm 6, §4.2);
 3. intra-cluster edges reached by unwinding the root-to-leaf notes
    (Algorithm 7, §4.3).
+
+:func:`mst_sensitivity` is a thin wrapper over
+:func:`repro.pipeline.run_sensitivity`: the Theorem 3.1 stages run
+first on the same runtime (Observation 4.2 — the machinery is shared),
+then the four sensitivity stages. With a ``store=``, any stage cached
+from an earlier verification (or ablation sibling) is replayed instead
+of re-executed.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-import numpy as np
-
-from ..errors import ValidationError
 from ..graph.graph import WeightedGraph
 from ..mpc import MPCConfig
 from ..mpc.runtime import Runtime
-from ..mpc.table import Table
-from .contraction_sens import run_sensitivity_contraction
-from .cluster_sens import run_cluster_sensitivity
 from .results import SensitivityResult
-from .unwind import run_unwind
-from .verification import verify_mst
 
 __all__ = ["mst_sensitivity"]
 
@@ -45,77 +44,23 @@ def mst_sensitivity(
     require_mst: bool = True,
     reduction_exponent: float = 1.0,
     coin_bias: float = 0.5,
+    store=None,
 ) -> SensitivityResult:
     """Sensitivity of every edge w.r.t. the flagged MST of ``graph``.
 
     Raises :class:`~repro.errors.ValidationError` if the flagged tree is
-    not an MST (the problem is defined for MSTs; pass
-    ``require_mst=False`` to skip the check and analyse covering weights
-    of an arbitrary spanning tree).
+    not a spanning tree (reported via the verification result's
+    ``failed_stage`` status), or — with ``require_mst=True`` — if it is
+    spanning but not minimal (pass ``require_mst=False`` to analyse
+    covering weights of an arbitrary spanning tree). ``store`` is an
+    optional :class:`~repro.pipeline.ArtifactStore` for warm-starting.
     """
-    internals: dict = {}
-    ver = verify_mst(
+    from ..pipeline import run_sensitivity
+
+    result, _run = run_sensitivity(
         graph, engine=engine, config=config, root=root,
         oracle_labels=oracle_labels, runtime=runtime,
-        reduction_exponent=reduction_exponent, coin_bias=coin_bias,
-        _internals=internals,
+        require_mst=require_mst, reduction_exponent=reduction_exponent,
+        coin_bias=coin_bias, store=store,
     )
-    if not internals:
-        raise ValidationError(f"input tree is not a spanning tree ({ver.reason})")
-    if require_mst and not ver.is_mst:
-        raise ValidationError(
-            f"sensitivity is defined for MSTs; verification failed "
-            f"({ver.n_violations} violating edges)"
-        )
-    rt: Runtime = internals["rt"]
-    hierarchy = internals["hierarchy"]
-    halves = internals["halves"]
-    low, high = internals["low"], internals["high"]
-    parent = internals["parent"]
-
-    with rt.phase("core"):
-        with rt.phase("sens-contract"):
-            state = run_sensitivity_contraction(rt, hierarchy, halves, low, high)
-        with rt.phase("sens-cluster"):
-            mc2 = run_cluster_sensitivity(rt, hierarchy, state)
-        with rt.phase("sens-unwind"):
-            mc3 = run_unwind(rt, hierarchy, state.notes, low, high)
-        with rt.phase("sens-finalize"):
-            updates: List[Table] = state.mc_updates + mc2 + mc3
-            updates = [t for t in updates if len(t)]
-            n = graph.n
-            if updates:
-                allup = Table.concat([t.select(["key", "w"]) for t in updates])
-                mins = rt.reduce_by_key(allup, ("key",), {"mc": ("w", "min")})
-                got = rt.lookup(
-                    Table(v=np.arange(n, dtype=np.int64)), ("v",),
-                    mins, ("key",), {"mc": "mc"}, default={"mc": np.inf},
-                )
-                mc = got.col("mc")
-            else:
-                mc = np.full(n, np.inf, dtype=np.float64)
-
-    # assemble per-input-edge sensitivities
-    tree_index = np.flatnonzero(graph.tree_mask)
-    nontree_index = ver.nontree_index
-    tu = graph.u[tree_index]
-    tv = graph.v[tree_index]
-    tw = graph.w[tree_index]
-    child = np.where(parent[tu] == tv, tu, tv)
-    sens = np.empty(graph.m, dtype=np.float64)
-    sens[tree_index] = mc[child] - tw
-    sens[nontree_index] = graph.w[nontree_index] - ver.pathmax
-
-    return SensitivityResult(
-        sensitivity=sens,
-        mc=mc,
-        tree_index=tree_index,
-        nontree_index=nontree_index,
-        diameter_estimate=ver.diameter_estimate,
-        rounds=rt.rounds,
-        report=rt.report(),
-        notes_peak=state.notes.peak,
-        pathmax=ver.pathmax,
-        parent=parent,
-        root=internals["root"],
-    )
+    return result

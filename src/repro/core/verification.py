@@ -1,6 +1,6 @@
 """MST verification in ``O(log D_T)`` rounds (Theorem 3.1).
 
-Pipeline::
+Pipeline (now an explicit stage DAG in :mod:`repro.pipeline`)::
 
     validate (Remark 2.2)  ──► rooting ──► DFS labels (Lemma 2.14)
         ──► diameter estimate (Remark 2.3)
@@ -15,27 +15,21 @@ maximum weight on its tree path (cycle rule, ties allowed). The phases
 charged under ``substrate/`` implement cited prior work (with the
 substitutions listed in DESIGN.md); the ``core/`` phases are this
 paper's contribution and are individually ``O(log D_T)`` rounds.
+
+:func:`verify_mst` is a thin wrapper over
+:func:`repro.pipeline.run_verification`; pass an
+:class:`~repro.pipeline.ArtifactStore` via ``store=`` to warm-start
+from (and contribute to) a stage cache.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
-import numpy as np
-
 from ..graph.graph import WeightedGraph
-from ..graph.tree import RootedTree
-from ..mpc import MPCConfig, make_runtime
+from ..mpc import MPCConfig
 from ..mpc.runtime import Runtime
-from ..mpc.table import Table
-from ..trees.connectivity import mpc_is_spanning_tree
-from ..trees.doubling import diameter_estimate
-from ..trees.euler import euler_intervals
-from ..trees.rooting import root_tree
-from .adgraph import split_at_lca
-from .hierarchy import build_hierarchy
-from .labeling import evaluate_pathmax, run_weight_labeling
-from .lca import all_edges_lca
 from .results import VerificationResult
 
 __all__ = ["verify_mst", "distributed_hint"]
@@ -44,6 +38,27 @@ __all__ = ["verify_mst", "distributed_hint"]
 def distributed_hint(graph: WeightedGraph) -> int:
     """Global-words hint for sizing a distributed deployment."""
     return 48 * graph.total_words() + 8192
+
+
+def _legacy_internals(rt: Runtime, run, nontree_index, root: int) -> dict:
+    """The dict the deprecated ``_internals`` kwarg used to smuggle out."""
+    arts = run.artifacts
+    halves = arts["adgraph"].half_edges()
+    return dict(
+        rt=rt,
+        parent=arts["rooting"].parent,
+        wpar=arts["rooting"].wpar,
+        low=arts["dfs"].low,
+        high=arts["dfs"].high,
+        d_hat=arts["diameter"].d_hat,
+        hierarchy=arts["clustering"].hierarchy,
+        halves=halves,
+        labeled=arts["labels"].labeled(halves),
+        pm_half=arts["pathmax"].pm_half,
+        pathmax=arts["decide"].pathmax,
+        nontree_index=nontree_index,
+        root=root,
+    )
 
 
 def verify_mst(
@@ -56,6 +71,7 @@ def verify_mst(
     reduction_exponent: float = 1.0,
     coin_bias: float = 0.5,
     _internals: Optional[dict] = None,
+    store=None,
 ) -> VerificationResult:
     """Decide whether the flagged tree of ``graph`` is an MST.
 
@@ -70,92 +86,34 @@ def verify_mst(
         would obtain end to end (DESIGN.md substitution 3).
     reduction_exponent, coin_bias:
         Clustering knobs for the E10 ablation.
+    store:
+        Optional :class:`~repro.pipeline.ArtifactStore`; cached stages
+        are replayed (bit-identical results *and* charged rounds) and
+        newly computed ones contributed back.
     _internals:
-        If a dict is passed, intermediate artefacts (hierarchy, labels,
-        half-edges, DFS labels) are stashed there for reuse — the
-        sensitivity pipeline shares this machinery (Observation 4.2).
+        Deprecated. Use the artifact API instead:
+        :func:`repro.pipeline.run_verification` returns the
+        :class:`~repro.pipeline.PipelineRun` whose typed artifacts
+        supersede this dict. If a dict is passed it is still filled for
+        backwards compatibility (on a completed pipeline).
     """
-    rt = runtime or make_runtime(
-        engine, config, total_words_hint=distributed_hint(graph)
-    )
-    n = graph.n
-    tu, tv, tw = graph.tree_edges()
-    nontree_index = np.flatnonzero(~graph.tree_mask)
-    nu = graph.u[nontree_index]
-    nv = graph.v[nontree_index]
-    nw = graph.w[nontree_index]
-
-    def _fail(reason: str) -> VerificationResult:
-        return VerificationResult(
-            is_mst=False, reason=reason, n_violations=0,
-            violating_edges=np.empty(0, dtype=np.int64),
-            nontree_index=nontree_index, pathmax=None,
-            diameter_estimate=0, rounds=rt.rounds, report=rt.report(),
-        )
-
-    with rt.phase("substrate"):
-        with rt.phase("validate"):
-            if not mpc_is_spanning_tree(rt, n, tu, tv):
-                return _fail("not-spanning-tree")
-        if oracle_labels:
-            rooted = RootedTree.from_edges(n, tu, tv, tw, root=root)
-            parent, wpar = rooted.parent, rooted.weight
-            _, low, high = rooted.euler_intervals()
-        else:
-            with rt.phase("rooting"):
-                parent, wpar = root_tree(rt, n, tu, tv, tw, root=root)
-            with rt.phase("dfs"):
-                _, low, high = euler_intervals(rt, parent, root)
-        with rt.phase("diameter"):
-            d_hat, _depths = diameter_estimate(rt, parent, root)
-
-    with rt.phase("core"):
-        with rt.phase("clustering"):
-            hierarchy = build_hierarchy(
-                rt, parent, wpar, root, low, high, d_hat,
-                coin_bias=coin_bias, reduction_exponent=reduction_exponent,
-            )
-        with rt.phase("lca"):
-            lca = all_edges_lca(rt, hierarchy, low, high, nu, nv, d_hat)
-        with rt.phase("adgraph"):
-            halves = split_at_lca(rt, nu, nv, nw, lca)
-        with rt.phase("labels"):
-            labeled = run_weight_labeling(rt, hierarchy, halves, low, high)
-        with rt.phase("pathmax"):
-            pm_half = evaluate_pathmax(rt, hierarchy, labeled)
-        with rt.phase("decide"):
-            if len(halves) > 0:
-                per_edge = rt.reduce_by_key(
-                    Table(eid=halves.eid, pm=pm_half), ("eid",),
-                    {"pm": ("pm", "max")},
-                )
-                got = rt.lookup(
-                    Table(eid=np.arange(len(nu), dtype=np.int64)), ("eid",),
-                    per_edge, ("eid",), {"pm": "pm"},
-                    default={"pm": -np.inf},
-                )
-                pathmax = got.col("pm")
-            else:
-                pathmax = np.full(len(nu), -np.inf, dtype=np.float64)
-            bad = nw < pathmax
-            n_bad = int(rt.scalar(Table(b=bad.astype(np.int64)), "b", "sum"))
+    from ..pipeline import run_verification
 
     if _internals is not None:
-        _internals.update(
-            rt=rt, parent=parent, wpar=wpar, low=low, high=high,
-            d_hat=d_hat, hierarchy=hierarchy, halves=halves,
-            labeled=labeled, pm_half=pm_half, pathmax=pathmax,
-            nontree_index=nontree_index, root=root,
+        warnings.warn(
+            "verify_mst(_internals=...) is deprecated; use "
+            "repro.pipeline.run_verification which returns typed stage "
+            "artifacts (and shares them through an ArtifactStore)",
+            DeprecationWarning, stacklevel=2,
         )
-    return VerificationResult(
-        is_mst=(n_bad == 0),
-        reason="ok" if n_bad == 0 else "cheaper-nontree-edge",
-        n_violations=n_bad,
-        violating_edges=nontree_index[bad],
-        nontree_index=nontree_index,
-        pathmax=pathmax,
-        diameter_estimate=d_hat,
-        rounds=rt.rounds,
-        report=rt.report(),
-        cluster_counts=list(hierarchy.counts),
+    result, run = run_verification(
+        graph, engine=engine, config=config, root=root,
+        oracle_labels=oracle_labels, runtime=runtime,
+        reduction_exponent=reduction_exponent, coin_bias=coin_bias,
+        store=store,
     )
+    if _internals is not None and result.failed_stage is None:
+        _internals.update(
+            _legacy_internals(run.rt, run, result.nontree_index, root)
+        )
+    return result

@@ -26,7 +26,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
-__all__ = ["CostModel", "CostTracker", "CostReport", "PRIMITIVES"]
+__all__ = ["CostModel", "CostTracker", "CostReport", "CostDelta", "PRIMITIVES"]
 
 #: Communication primitives the runtimes may charge.
 PRIMITIVES = (
@@ -136,6 +136,53 @@ class CostReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class CostDelta:
+    """The rounds charged between two tracker marks (one pipeline stage).
+
+    Stored alongside cached stage artifacts so that a warm-started run
+    can *replay* the charge without re-executing the stage: warm and
+    cold runs then produce bit-identical :class:`CostReport`\\ s. The
+    peaks are the tracker's cumulative peaks at the *end* of the stage
+    (replaying in stage order reproduces the running maximum exactly).
+    """
+
+    rounds_by_phase: Dict[str, int]
+    primitives_by_phase: Dict[str, Dict[str, int]]
+    transport_rounds: int
+    peak_global_words: int
+    peak_machine_words: int
+
+    @property
+    def rounds_total(self) -> int:
+        return sum(self.rounds_by_phase.values())
+
+    def to_dict(self) -> Dict:
+        return {
+            "rounds_by_phase": {k: int(v) for k, v in self.rounds_by_phase.items()},
+            "primitives_by_phase": {
+                phase: {p: int(c) for p, c in counts.items()}
+                for phase, counts in self.primitives_by_phase.items()
+            },
+            "transport_rounds": int(self.transport_rounds),
+            "peak_global_words": int(self.peak_global_words),
+            "peak_machine_words": int(self.peak_machine_words),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "CostDelta":
+        return cls(
+            rounds_by_phase={k: int(v) for k, v in d["rounds_by_phase"].items()},
+            primitives_by_phase={
+                phase: {p: int(c) for p, c in counts.items()}
+                for phase, counts in d["primitives_by_phase"].items()
+            },
+            transport_rounds=int(d["transport_rounds"]),
+            peak_global_words=int(d["peak_global_words"]),
+            peak_machine_words=int(d["peak_machine_words"]),
+        )
+
+
 class CostTracker:
     """Mutable accumulator used by runtimes while an algorithm executes."""
 
@@ -180,6 +227,51 @@ class CostTracker:
     def charge_transport_round(self, count: int = 1) -> None:
         """Record actual message-exchange rounds (distributed engine only)."""
         self._transport_rounds += count
+
+    # -- stage deltas (pipeline warm-start) --------------------------------------
+
+    def mark(self) -> Dict:
+        """Snapshot the charge state; pair with :meth:`delta_since`."""
+        return {
+            "rounds_by_phase": dict(self._rounds_by_phase),
+            "prims_by_phase": {k: Counter(v) for k, v in self._prims_by_phase.items()},
+            "transport_rounds": self._transport_rounds,
+        }
+
+    def delta_since(self, mark: Dict) -> CostDelta:
+        """Everything charged since ``mark``, as a replayable delta."""
+        before_r = mark["rounds_by_phase"]
+        before_p = mark["prims_by_phase"]
+        rounds = {
+            phase: r - before_r.get(phase, 0)
+            for phase, r in self._rounds_by_phase.items()
+            if r - before_r.get(phase, 0)
+        }
+        prims = {}
+        for phase, counts in self._prims_by_phase.items():
+            diff = counts - before_p.get(phase, Counter())
+            if diff:
+                prims[phase] = dict(diff)
+        return CostDelta(
+            rounds_by_phase=rounds,
+            primitives_by_phase=prims,
+            transport_rounds=self._transport_rounds - mark["transport_rounds"],
+            peak_global_words=self._peak_global,
+            peak_machine_words=self._peak_machine,
+        )
+
+    def replay(self, delta: CostDelta) -> None:
+        """Re-charge a recorded stage delta without executing the stage."""
+        for phase, r in delta.rounds_by_phase.items():
+            self._rounds_total += r
+            self._rounds_by_phase[phase] = self._rounds_by_phase.get(phase, 0) + r
+        for phase, counts in delta.primitives_by_phase.items():
+            self._prims_by_phase.setdefault(phase, Counter()).update(counts)
+        self._transport_rounds += delta.transport_rounds
+        if delta.peak_global_words > self._peak_global:
+            self._peak_global = delta.peak_global_words
+        if delta.peak_machine_words > self._peak_machine:
+            self._peak_machine = delta.peak_machine_words
 
     # -- memory -----------------------------------------------------------------
 

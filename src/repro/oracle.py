@@ -169,6 +169,23 @@ class SensitivityOracle:
             diameter_estimate=result.diameter_estimate,
         )
 
+    @classmethod
+    def from_store(cls, graph: WeightedGraph, store, engine: str = "local",
+                   config=None, **kw) -> "SensitivityOracle":
+        """Build by warm-starting the pipeline from an artifact store.
+
+        ``store`` is a :class:`~repro.pipeline.ArtifactStore` (typically
+        the one a batch run populated): every stage already cached for
+        this graph/engine/knob combination is replayed instead of
+        re-executed, so building an oracle after a verification run only
+        pays for the four sensitivity stages.
+        """
+        from .core.sensitivity import mst_sensitivity
+
+        result = mst_sensitivity(graph, engine=engine, config=config,
+                                 store=store, **kw)
+        return cls.from_result(graph, result)
+
     # -- point queries (O(1) each) ---------------------------------------------
 
     @property
@@ -284,9 +301,14 @@ class SensitivityOracle:
 
 
 def build_oracle(graph: WeightedGraph, engine: str = "local", config=None,
-                 **kw) -> SensitivityOracle:
-    """Run the Theorem 4.1 pipeline and wrap the result as an oracle."""
+                 store=None, **kw) -> SensitivityOracle:
+    """Run the Theorem 4.1 pipeline and wrap the result as an oracle.
+
+    ``store`` (an :class:`~repro.pipeline.ArtifactStore`) warm-starts
+    the pipeline from cached stage artifacts when available.
+    """
     from .core.sensitivity import mst_sensitivity
 
-    result = mst_sensitivity(graph, engine=engine, config=config, **kw)
+    result = mst_sensitivity(graph, engine=engine, config=config,
+                             store=store, **kw)
     return SensitivityOracle.from_result(graph, result)

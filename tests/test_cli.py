@@ -55,7 +55,45 @@ class TestSensitivityCommand:
         assert code == 0 and "bridges" in text
 
 
+class TestPipelineCommand:
+    def test_plan_only_lists_stages(self):
+        code, text = run_cli(["pipeline", "--kind", "sensitivity",
+                              "--n", "80", "--plan-only"])
+        assert code == 0
+        for stage in ("validate", "clustering", "sens-finalize"):
+            assert stage in text
+        assert "sensitivity done" not in text
+
+    def test_run_reports_execution(self):
+        code, text = run_cli(["pipeline", "--kind", "verify", "--n", "80"])
+        assert code == 0
+        assert "verification done: is_mst=True" in text
+        assert "stages executed: 10" in text
+
+    def test_cache_dir_warm_start(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        code1, cold = run_cli(["pipeline", "--kind", "verify", "--n", "80",
+                               "--cache-dir", cache])
+        code2, warm = run_cli(["pipeline", "--kind", "verify", "--n", "80",
+                               "--cache-dir", cache])
+        assert code1 == code2 == 0
+        assert "replayed from cache: 0" in cold and "miss" in cold
+        assert "replayed from cache: 10" in warm and "hit" in warm
+
+        def rounds_of(text):
+            return text.split("rounds=")[1].split(" ")[0]
+
+        assert rounds_of(cold) == rounds_of(warm)
+
+
 class TestBatchCommand:
+    def test_cache_dir_shares_stages(self, tmp_path):
+        code, text = run_cli([
+            "batch", "--jobs", "2", "--n", "60", "--processes", "1",
+            "--broken", "0", "--cache-dir", str(tmp_path / "c"),
+        ])
+        assert code == 0
+
     def test_mixed_workload_end_to_end(self):
         code, text = run_cli(["batch", "--jobs", "6", "--processes", "1",
                               "--n", "60"])

@@ -79,12 +79,24 @@ class TestSensitivityResult:
     def test_core_rounds_property(self):
         assert 0 < self.r.core_rounds <= self.r.rounds
 
-    def test_pipeline_internals_exposed(self):
-        # the oracle layer relies on these artefacts being present
+    def test_pipeline_artifacts_exposed(self):
+        # the oracle layer relies on these artefacts being present on
+        # the result, and they must agree with the typed stage artifacts
+        # the pipeline API returns
+        from repro.pipeline import run_sensitivity
+
         assert self.r.parent is not None and len(self.r.parent) == self.g.n
         assert self.r.parent[self.r.root] == self.r.root
         assert self.r.pathmax is not None
         assert len(self.r.pathmax) == len(self.r.nontree_index)
+        result, run = run_sensitivity(self.g)
+        np.testing.assert_array_equal(
+            run.artifacts["rooting"].parent, self.r.parent
+        )
+        np.testing.assert_array_equal(
+            run.artifacts["sens-finalize"].mc, self.r.mc
+        )
+        np.testing.assert_array_equal(result.sensitivity, self.r.sensitivity)
 
 
 class TestResultSerialization:

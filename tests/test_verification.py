@@ -120,12 +120,19 @@ class TestModes:
         assert shallow.is_mst and deep.is_mst
         assert shallow.cluster_counts[-1] >= deep.cluster_counts[-1]
 
-    def test_internals_exposed_for_sensitivity(self):
+    def test_artifacts_exposed_for_sensitivity(self):
+        # the sensitivity stages consume these verification artifacts
+        # (Observation 4.2); they are typed stage outputs now, not a
+        # smuggled _internals dict
+        from repro.pipeline import run_verification
+
         g, _ = known_mst_instance("binary", 63, extra_m=100, rng=2)
-        internals = {}
-        verify_mst(g, _internals=internals)
-        for key in ("rt", "hierarchy", "halves", "labeled", "pathmax"):
-            assert key in internals
+        result, run = run_verification(g)
+        for stage in ("clustering", "adgraph", "labels", "pathmax", "decide"):
+            assert stage in run.artifacts
+        assert run.artifacts["clustering"].hierarchy.n == g.n
+        assert len(run.artifacts["decide"].pathmax) == len(result.nontree_index)
+        assert run.rt.rounds == result.rounds
 
 
 class TestLowerBoundFamily:
