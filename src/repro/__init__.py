@@ -24,8 +24,9 @@ from .graph.tree import RootedTree
 from .mpc import LocalRuntime, MPCConfig, Table, make_runtime
 from .oracle import SensitivityOracle, build_oracle
 from .pipeline import ArtifactStore
+from .service import SensitivityService, ServiceClient, ServiceConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "WeightedGraph",
@@ -43,6 +44,9 @@ __all__ = [
     "BatchRunner",
     "JobSpec",
     "make_workload",
+    "SensitivityService",
+    "ServiceClient",
+    "ServiceConfig",
     "verify_mst",
     "mst_sensitivity",
     "verify_msf",

@@ -7,6 +7,7 @@ Commands
 ``pipeline``     print the stage DAG plan (and run it, warm-starting
                  from an artifact cache)
 ``batch``        fan a mixed verify/sensitivity workload over a process pool
+``serve``        run the sharded micro-batching query service (S19)
 ``sweep``        the headline experiment: rounds vs candidate-tree diameter
 ``lower-bound``  the Theorem 5.2 hard family
 
@@ -19,6 +20,7 @@ Examples::
     python -m repro batch --jobs 8 --n 300 --cache-dir /tmp/cache
     python -m repro batch --jobs 12 --format json --out report.json
     python -m repro batch --jobs 6 --persist-oracles /tmp/oracles
+    python -m repro serve --shapes random,grid,power_law --n 2000 --shards 4
     python -m repro sweep --n 4096 --diameters 8,32,128,512
     python -m repro lower-bound --sizes 64,256,1024
 """
@@ -119,6 +121,35 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
                     help="shared stage-artifact cache: jobs on one graph "
                          "run their common pipeline prefix once")
+
+    sp = sub.add_parser(
+        "serve",
+        help="run the sharded micro-batching query service (TCP JSON-lines)",
+    )
+    sp.add_argument("--shapes", type=str, default="random",
+                    help="comma-separated tree shapes; one named instance "
+                         "per shape")
+    sp.add_argument("--n", type=int, default=1000)
+    sp.add_argument("--extra-m", type=int, default=None,
+                    help="non-tree edges per instance (default 2n)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--engine", choices=["local", "distributed"],
+                    default="local")
+    sp.add_argument("--delta", type=float, default=0.35)
+    sp.add_argument("--host", type=str, default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=7464,
+                    help="TCP port (0 picks a free one)")
+    sp.add_argument("--shards", type=int, default=2,
+                    help="edge-range shards per instance")
+    sp.add_argument("--max-batch", type=int, default=512)
+    sp.add_argument("--window-ms", type=float, default=2.0,
+                    help="micro-batch latency window")
+    sp.add_argument("--queue-depth", type=int, default=4096,
+                    help="per-shard queue bound before load-shedding")
+    sp.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                    help="persistent artifact store for incremental rebuilds")
+    sp.add_argument("--mmap-dir", type=str, default=None, metavar="DIR",
+                    help="share oracle snapshots across shards via mmap")
 
     sp = sub.add_parser("sweep", help="rounds vs D_T experiment")
     sp.add_argument("--n", type=int, default=4096)
@@ -306,6 +337,57 @@ def cmd_batch(args, out) -> int:
     return 0 if not failed else 1
 
 
+def cmd_serve(args, out) -> int:
+    import asyncio
+
+    from .service import SensitivityService, ServiceConfig
+
+    shapes = [s.strip() for s in args.shapes.split(",") if s.strip()]
+    for s in shapes:
+        if s not in TREE_SHAPES:
+            raise ValidationError(f"unknown tree shape {s!r}")
+    if not shapes:
+        raise ValidationError("serve needs at least one shape")
+    extra = args.extra_m if args.extra_m is not None else 2 * args.n
+    cfg = ServiceConfig(
+        shards=args.shards, max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1e3, queue_depth=args.queue_depth,
+        engine=args.engine, config=_config(args),
+        cache_dir=args.cache_dir, mmap_dir=args.mmap_dir,
+        host=args.host, port=args.port,
+    )
+
+    async def run() -> None:
+        service = SensitivityService(cfg)
+        for i, shape in enumerate(shapes):
+            g, _ = known_mst_instance(shape, args.n, extra_m=extra,
+                                      rng=args.seed + 101 * i)
+            service.add_instance(shape, g)
+            out.write(f"instance {shape}: n={g.n} m={g.m} "
+                      f"shards={len(service.instances[shape].shards)}\n")
+        await service.start(serve_tcp=True)
+        host, port = service.tcp_address
+        out.write(f"listening on {host}:{port} "
+                  f"(JSON-lines; ops: sensitivity survives replacement_edge "
+                  f"entry_threshold update metrics instances ping shutdown)\n")
+        if hasattr(out, "flush"):
+            out.flush()
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+            m = service.metrics()
+            out.write(f"served {m['queries']} queries "
+                      f"({m['qps']} qps over {m['uptime_s']}s), "
+                      f"shed {m['shed']}\n")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        out.write("interrupted\n")
+    return 0
+
+
 def cmd_sweep(args, out) -> int:
     from .core.verification import verify_mst
 
@@ -350,6 +432,7 @@ def main(argv=None, out=None) -> int:
             "sensitivity": cmd_sensitivity,
             "pipeline": cmd_pipeline,
             "batch": cmd_batch,
+            "serve": cmd_serve,
             "sweep": cmd_sweep,
             "lower-bound": cmd_lower_bound,
         }[args.command](args, out)

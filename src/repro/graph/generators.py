@@ -25,6 +25,8 @@ __all__ = [
     "caterpillar_tree",
     "backbone_tree",
     "random_recursive_tree",
+    "grid_tree",
+    "power_law_tree",
     "tree_instance",
     "TREE_SHAPES",
     "attach_nontree_edges",
@@ -113,6 +115,48 @@ def random_recursive_tree(n: int, rng=0) -> RootedTree:
     return RootedTree(parent=parent, root=0)
 
 
+def grid_tree(n: int) -> RootedTree:
+    """A comb spanning tree of the ~√n × √n grid (diameter Θ(√n)).
+
+    Vertex ``i`` sits at grid position ``(i // cols, i % cols)``; row 0
+    is the spine and every column hangs off it. The Θ(√n) diameter
+    class sits between ``binary`` (log n) and ``path`` (n) — mesh /
+    datacenter-fabric shaped workloads.
+    """
+    if n < 1:
+        raise ValidationError("grid_tree needs n >= 1")
+    cols = max(1, int(np.ceil(np.sqrt(n))))
+    idx = np.arange(n, dtype=np.int64)
+    parent = np.where(idx < cols, np.maximum(idx - 1, 0), idx - cols)
+    return RootedTree(parent=parent.astype(np.int64), root=0)
+
+
+def power_law_tree(n: int, rng=0) -> RootedTree:
+    """Preferential-attachment tree (Barabási–Albert, one edge/vertex).
+
+    Vertex ``i`` attaches to an earlier vertex chosen proportionally to
+    its current degree, giving the heavy-tailed degree distribution of
+    internet/social topologies: a few massive hubs, diameter Θ(log n).
+    Implemented with the classic edge-endpoint-sampling trick (each
+    endpoint of each earlier edge is a degree-weighted ticket).
+    """
+    rng = _rng(rng)
+    if n < 1:
+        raise ValidationError("power_law_tree needs n >= 1")
+    parent = np.zeros(n, dtype=np.int64)
+    # tickets[2k] / tickets[2k+1] are the endpoints of edge k=(v, parent)
+    tickets = np.zeros(2 * max(n - 1, 1), dtype=np.int64)
+    for i in range(1, n):
+        if i == 1:
+            target = 0
+        else:
+            target = int(tickets[rng.integers(0, 2 * (i - 1))])
+        parent[i] = target
+        tickets[2 * (i - 1)] = i
+        tickets[2 * (i - 1) + 1] = target
+    return RootedTree(parent=parent, root=0)
+
+
 TREE_SHAPES = (
     "path",
     "star",
@@ -120,6 +164,8 @@ TREE_SHAPES = (
     "ternary",
     "caterpillar",
     "random",
+    "grid",
+    "power_law",
 )
 
 
@@ -138,6 +184,10 @@ def tree_instance(shape: str, n: int, rng=0) -> RootedTree:
         return caterpillar_tree(n, max(1, n // 3))
     if shape == "random":
         return random_recursive_tree(n, rng)
+    if shape == "grid":
+        return grid_tree(n)
+    if shape == "power_law":
+        return power_law_tree(n, rng)
     raise ValidationError(f"unknown tree shape {shape!r}")
 
 

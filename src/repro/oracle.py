@@ -105,6 +105,7 @@ class SensitivityOracle:
         self.root = int(root)
         self.precompute_rounds = int(precompute_rounds)
         self.diameter_estimate = int(diameter_estimate)
+        self._cover_mask: Optional[np.ndarray] = None
         m = len(self.u)
         if not (len(self.v) == len(self.w) == len(self.tree_mask)
                 == len(self.sens) == len(self.threshold)
@@ -260,10 +261,76 @@ class SensitivityOracle:
         thr = self.threshold[e]
         return np.where(self.tree_mask[e], x <= thr, x >= thr)
 
+    def replacement_edge_bulk(self, edges) -> np.ndarray:
+        """Vectorised :meth:`replacement_edge`; ``-1`` marks bridges.
+
+        All queried edges must be tree edges (the service pre-splits
+        mixed micro-batches on :attr:`tree_mask` before dispatching).
+        """
+        e = self._check_bulk(edges)
+        if len(e) and not self.tree_mask[e].all():
+            raise ValidationError(
+                "replacement_edge_bulk is defined for tree edges only"
+            )
+        return self.cover_edge[e]
+
+    def entry_threshold_bulk(self, edges) -> np.ndarray:
+        """Vectorised :meth:`entry_threshold` (non-tree edges only)."""
+        e = self._check_bulk(edges)
+        if len(e) and self.tree_mask[e].any():
+            raise ValidationError(
+                "entry_threshold_bulk is defined for non-tree edges only"
+            )
+        return self.threshold[e]
+
+    # -- incremental weight updates --------------------------------------------
+
+    def covering_edges(self) -> np.ndarray:
+        """Bool mask over input edges: attains some tree edge's ``mc``.
+
+        An edge in this mask is the recorded minimiser of at least one
+        covering minimum — re-pricing it can move thresholds, so the
+        update path must rebuild. Computed lazily, cached.
+        """
+        if self._cover_mask is None:
+            mask = np.zeros(len(self.u), dtype=bool)
+            covers = self.cover_edge[self.cover_edge >= 0]
+            mask[covers] = True
+            self._cover_mask = mask
+        return self._cover_mask
+
+    def reprice(self, e, new_weight: float) -> None:
+        """Patch ``w(e)`` (and its own slack) in place.
+
+        Only valid for *oracle-preserving* updates — ones where every
+        stored threshold provably keeps its value (see
+        :mod:`repro.service.updates` for the classification). All other
+        query answers depend solely on thresholds, so this patch plus
+        the slack recomputation is the entire update. Copy-on-write:
+        read-only (memory-mapped) ``w``/``sens`` arrays are thawed to
+        private copies first; the large threshold/topology arrays stay
+        mapped and shared.
+        """
+        e = self._check(e)
+        if not self.w.flags.writeable:
+            self.w = np.array(self.w)
+        if not self.sens.flags.writeable:
+            self.sens = np.array(self.sens)
+        self.w[e] = new_weight
+        thr = self.threshold[e]
+        if self.tree_mask[e]:
+            self.sens[e] = thr - new_weight  # inf stays inf for bridges
+        else:
+            self.sens[e] = new_weight - thr
+
     # -- persistence -----------------------------------------------------------
 
-    def save(self, path) -> None:
-        """Write the oracle to ``path`` as one ``.npz`` (see :meth:`load`)."""
+    def save(self, path, compressed: bool = True) -> None:
+        """Write the oracle to ``path`` as one ``.npz`` (see :meth:`load`).
+
+        ``compressed=False`` stores the arrays verbatim so that
+        :meth:`load` with ``mmap_mode`` can map them zero-copy.
+        """
         save_npz(
             path,
             {
@@ -278,11 +345,21 @@ class SensitivityOracle:
                 "precompute_rounds": self.precompute_rounds,
                 "diameter_estimate": self.diameter_estimate,
             },
+            compressed=compressed,
         )
 
     @classmethod
-    def load(cls, path) -> "SensitivityOracle":
-        arrays, meta = load_npz(path)
+    def load(cls, path, mmap_mode: Optional[str] = None) -> "SensitivityOracle":
+        """Rehydrate from :meth:`save` output.
+
+        ``mmap_mode`` (e.g. ``"r"``) passes through to the npz loader:
+        arrays of an uncompressed snapshot come back as read-only
+        :class:`numpy.memmap` views, so N shard workers mapping one
+        file share a single page-cached copy instead of each
+        materialising all arrays. Compressed snapshots silently fall
+        back to an eager read (``np.load`` semantics).
+        """
+        arrays, meta = load_npz(path, mmap_mode=mmap_mode)
         if meta.get("kind") != "sensitivity-oracle":
             raise ValidationError(f"{path!r} does not hold an oracle")
         return cls(

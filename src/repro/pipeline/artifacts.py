@@ -35,6 +35,7 @@ __all__ = [
     "Artifact",
     "ArtifactStore",
     "graph_fingerprint",
+    "FINGERPRINT_SCOPES",
     "ARTIFACT_KINDS",
     "ValidateArtifact",
     "RootingArtifact",
@@ -61,13 +62,31 @@ def register(cls: Type["Artifact"]) -> Type["Artifact"]:
     return cls
 
 
-def graph_fingerprint(graph) -> str:
-    """Content hash of an instance (vertices, edge lists, tree flags)."""
+#: Fingerprint scopes, from weight-blind to weight-complete. A stage is
+#: keyed by the narrowest scope covering what its body actually reads
+#: (dep keys Merkle-chain the rest), so a weight-only update invalidates
+#: only the stages that read weights — the incremental-rebuild lever the
+#: service layer's write path stands on.
+FINGERPRINT_SCOPES = ("topology", "tree", "full")
+
+
+def graph_fingerprint(graph, scope: str = "full") -> str:
+    """Content hash of an instance at the requested scope.
+
+    ``topology`` covers vertices, endpoints and tree flags; ``tree``
+    adds the candidate-tree weights; ``full`` adds all weights.
+    """
+    if scope not in FINGERPRINT_SCOPES:
+        raise ValueError(f"unknown fingerprint scope {scope!r}")
     h = hashlib.sha256()
+    h.update(scope.encode())
     h.update(str(int(graph.n)).encode())
-    for arr in (graph.u, graph.v, graph.w, graph.tree_mask):
-        a = np.ascontiguousarray(arr)
-        h.update(a.tobytes())
+    for arr in (graph.u, graph.v, graph.tree_mask):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    if scope == "tree":
+        h.update(np.ascontiguousarray(graph.w[graph.tree_mask]).tobytes())
+    elif scope == "full":
+        h.update(np.ascontiguousarray(graph.w).tobytes())
     return h.hexdigest()[:24]
 
 

@@ -40,6 +40,7 @@ __all__ = [
     "PipelineParams",
     "Pipeline",
     "PipelineRun",
+    "graph_fingerprints",
     "verification_pipeline",
     "sensitivity_pipeline",
     "run_verification",
@@ -89,12 +90,32 @@ class PipelineParams:
         )
 
 
-def stage_key(stage: Stage, graph_fp: str, params: PipelineParams,
-              dep_keys: Dict[str, str]) -> str:
-    """Content address of one stage invocation (Merkle-chained)."""
+def graph_fingerprints(graph) -> Dict[str, str]:
+    """All three scope fingerprints of one instance, computed once.
+
+    Stages are keyed by the scope they declare (``Stage.weight_scope``),
+    so a weight-only change re-fingerprints just the weight-reading
+    stages: re-pricing a non-tree edge leaves ``topology`` and ``tree``
+    untouched and the whole validate→lca prefix replays from cache —
+    the service layer's incremental rebuild path.
+    """
+    from .artifacts import FINGERPRINT_SCOPES
+
+    return {s: graph_fingerprint(graph, s) for s in FINGERPRINT_SCOPES}
+
+
+def stage_key(stage: Stage, graph_fps: Dict[str, str],
+              params: PipelineParams, dep_keys: Dict[str, str]) -> str:
+    """Content address of one stage invocation (Merkle-chained).
+
+    ``graph_fps`` maps fingerprint scope → digest (see
+    :func:`graph_fingerprints`); the stage picks its declared scope.
+    Weight dependence that reaches a stage through an upstream artifact
+    is covered by the chained dep keys, so narrow scopes stay sound.
+    """
     payload = {
         "stage": stage.name,
-        "graph": graph_fp,
+        "graph": graph_fps[stage.weight_scope],
         "globals": {k: getattr(params, k) for k in GLOBAL_KEY_FIELDS},
         "params": {k: getattr(params, k) for k in stage.params},
         "deps": [dep_keys[d] for d in stage.deps],
@@ -156,7 +177,7 @@ class Pipeline:
         """The stage schedule; with a graph, also keys and cache state."""
         entries: List[PlanEntry] = []
         keys: Dict[str, str] = {}
-        gfp = graph_fingerprint(graph) if graph is not None else None
+        gfp = graph_fingerprints(graph) if graph is not None else None
         for s in self.stages:
             key = cached = None
             if gfp is not None:
@@ -186,7 +207,7 @@ class Pipeline:
             out.cached_stages.extend(resume.cached_stages)
             out.executed_stages.extend(resume.executed_stages)
         ctx = StageContext(graph, rt, params, out.artifacts)
-        gfp = graph_fingerprint(graph)
+        gfp = graph_fingerprints(graph)
         for stage in self.stages:
             if stage.name in out.artifacts:
                 continue

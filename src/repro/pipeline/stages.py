@@ -89,6 +89,12 @@ class Stage:
     deps: Tuple[str, ...] = ()
     #: PipelineParams fields that enter this stage's cache key
     params: Tuple[str, ...] = ()
+    #: graph-fingerprint scope for this stage's cache key: the
+    #: narrowest of "topology" / "tree" / "full" covering the graph
+    #: data the body reads *directly* (weight dependence reaching it
+    #: through an upstream artifact is carried by the Merkle-chained
+    #: dep keys instead). "full" is the always-safe default.
+    weight_scope: str = "full"
 
     @property
     def phase(self) -> Tuple[str, str]:
@@ -117,6 +123,7 @@ class Stage:
 class ValidateStage(Stage):
     name = "validate"
     group = "substrate"
+    weight_scope = "topology"
 
     def compute(self, ctx):
         ok = mpc_is_spanning_tree(ctx.rt, ctx.graph.n, ctx.tu, ctx.tv)
@@ -131,6 +138,7 @@ class RootingStage(Stage):
     group = "substrate"
     deps = ("validate",)
     params = ("root", "oracle_labels")
+    weight_scope = "tree"
 
     def compute(self, ctx):
         if ctx.params.oracle_labels:
@@ -151,6 +159,7 @@ class DfsStage(Stage):
     group = "substrate"
     deps = ("rooting",)
     params = ("oracle_labels",)
+    weight_scope = "topology"
 
     def compute(self, ctx):
         rooting = ctx.art("rooting")
@@ -169,6 +178,7 @@ class DiameterStage(Stage):
     name = "diameter"
     group = "substrate"
     deps = ("rooting",)
+    weight_scope = "topology"
 
     def compute(self, ctx):
         d_hat, _depths = diameter_estimate(ctx.rt, ctx.art("rooting").parent,
@@ -183,6 +193,7 @@ class ClusteringStage(Stage):
     name = "clustering"
     deps = ("rooting", "dfs", "diameter")
     params = ("coin_bias", "reduction_exponent")
+    weight_scope = "topology"
 
     def compute(self, ctx):
         rooting = ctx.art("rooting")
@@ -199,6 +210,7 @@ class ClusteringStage(Stage):
 class LcaStage(Stage):
     name = "lca"
     deps = ("clustering", "dfs", "diameter")
+    weight_scope = "topology"
 
     def compute(self, ctx):
         dfs = ctx.art("dfs")
@@ -212,6 +224,7 @@ class LcaStage(Stage):
 class AdgraphStage(Stage):
     name = "adgraph"
     deps = ("lca",)
+    weight_scope = "full"
 
     def compute(self, ctx):
         halves = split_at_lca(ctx.rt, ctx.nu, ctx.nv, ctx.nw,
@@ -223,6 +236,7 @@ class AdgraphStage(Stage):
 class LabelsStage(Stage):
     name = "labels"
     deps = ("clustering", "adgraph", "dfs")
+    weight_scope = "topology"
 
     def compute(self, ctx):
         dfs = ctx.art("dfs")
@@ -236,6 +250,7 @@ class LabelsStage(Stage):
 class PathmaxStage(Stage):
     name = "pathmax"
     deps = ("clustering", "labels", "adgraph")
+    weight_scope = "topology"
 
     def compute(self, ctx):
         labeled = ctx.art("labels").labeled(ctx.art("adgraph").half_edges())
@@ -247,6 +262,7 @@ class PathmaxStage(Stage):
 class DecideStage(Stage):
     name = "decide"
     deps = ("adgraph", "pathmax")
+    weight_scope = "full"
 
     def compute(self, ctx):
         rt = ctx.rt
@@ -276,6 +292,7 @@ class DecideStage(Stage):
 class SensContractStage(Stage):
     name = "sens-contract"
     deps = ("clustering", "adgraph", "dfs")
+    weight_scope = "topology"
 
     def compute(self, ctx):
         dfs = ctx.art("dfs")
@@ -293,6 +310,7 @@ class SensContractStage(Stage):
 class SensClusterStage(Stage):
     name = "sens-cluster"
     deps = ("clustering", "sens-contract")
+    weight_scope = "topology"
 
     def compute(self, ctx):
         contract = ctx.art("sens-contract")
@@ -311,6 +329,7 @@ class SensClusterStage(Stage):
 class SensUnwindStage(Stage):
     name = "sens-unwind"
     deps = ("clustering", "sens-cluster", "dfs")
+    weight_scope = "topology"
 
     def compute(self, ctx):
         dfs = ctx.art("dfs")
@@ -323,6 +342,7 @@ class SensUnwindStage(Stage):
 class SensFinalizeStage(Stage):
     name = "sens-finalize"
     deps = ("sens-contract", "sens-cluster", "sens-unwind")
+    weight_scope = "topology"
 
     def compute(self, ctx):
         rt = ctx.rt

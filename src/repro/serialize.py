@@ -6,11 +6,27 @@ embedded as a 0-d string array under ``META_KEY``. One implementation
 here so the format cannot drift between consumers: plain ``open()``
 (no implicit ``.npz`` suffixing by :func:`numpy.savez_compressed`),
 ``allow_pickle=False`` on read, ``None``-valued arrays skipped.
+
+Two serving-layer extensions:
+
+* ``save_npz(..., compressed=False)`` writes the members ZIP-stored
+  (uncompressed). The bytes of each array then sit verbatim in the
+  file, which enables
+* ``load_npz(path, mmap_mode="r")`` — arrays come back as
+  :class:`numpy.memmap` views straight into the file. ``np.load``
+  silently ignores ``mmap_mode`` for ``.npz`` archives, so we locate
+  each stored member ourselves (local header walk) and map its data
+  region. N shard workers of one service process (or N processes on
+  one box) then share a single page-cached copy of a saved oracle
+  instead of each materialising all arrays. Compressed members cannot
+  be mapped and fall back to an eager read per member.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zipfile
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -19,16 +35,76 @@ __all__ = ["META_KEY", "save_npz", "load_npz"]
 
 META_KEY = "__meta__"
 
+#: Fixed part of a ZIP local file header (PK\x03\x04 ... extra-len).
+_LOCAL_HEADER_FMT = "<4s5H3I2H"
+_LOCAL_HEADER_SIZE = struct.calcsize(_LOCAL_HEADER_FMT)
 
-def save_npz(path, arrays: Dict[str, Optional[np.ndarray]], meta: Dict) -> None:
+
+def save_npz(path, arrays: Dict[str, Optional[np.ndarray]], meta: Dict,
+             compressed: bool = True) -> None:
     payload = {k: np.asarray(v) for k, v in arrays.items() if v is not None}
     payload[META_KEY] = np.array(json.dumps(meta))
+    save = np.savez_compressed if compressed else np.savez
     with open(path, "wb") as fh:
-        np.savez_compressed(fh, **payload)
+        save(fh, **payload)
 
 
-def load_npz(path) -> Tuple[Dict[str, np.ndarray], Dict]:
-    with np.load(path, allow_pickle=False) as z:
-        meta = json.loads(str(z[META_KEY][()]))
-        arrays = {k: z[k] for k in z.files if k != META_KEY}
+def _member_data_offset(fh, info: zipfile.ZipInfo) -> int:
+    """Absolute file offset of a member's raw bytes (after local header).
+
+    The central directory's ``header_offset`` points at the *local*
+    file header, whose name/extra lengths may differ from the central
+    copy — so the local header is re-read, not trusted from ``info``.
+    """
+    fh.seek(info.header_offset)
+    raw = fh.read(_LOCAL_HEADER_SIZE)
+    fields = struct.unpack(_LOCAL_HEADER_FMT, raw)
+    name_len, extra_len = fields[9], fields[10]
+    return info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+
+
+def _mmap_member(path, fh, info: zipfile.ZipInfo, mmap_mode: str):
+    """Map one ZIP-stored ``.npy`` member as a :class:`numpy.memmap`."""
+    base = _member_data_offset(fh, info)
+    fh.seek(base)
+    version = np.lib.format.read_magic(fh)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+    else:
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+    data_offset = fh.tell()
+    order = "F" if fortran else "C"
+    if dtype.hasobject:  # pragma: no cover - we never write object arrays
+        raise ValueError(f"cannot memory-map object array {info.filename!r}")
+    return np.memmap(path, mode=mmap_mode, dtype=dtype, shape=shape,
+                     order=order, offset=data_offset)
+
+
+def load_npz(path, mmap_mode: Optional[str] = None) \
+        -> Tuple[Dict[str, np.ndarray], Dict]:
+    if mmap_mode is None:
+        with np.load(path, allow_pickle=False) as z:
+            meta = json.loads(str(z[META_KEY][()]))
+            arrays = {k: z[k] for k in z.files if k != META_KEY}
+        return arrays, meta
+
+    arrays: Dict[str, np.ndarray] = {}
+    meta: Dict = {}
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as fh:
+        for info in zf.infolist():
+            name = info.filename[:-4] if info.filename.endswith(".npy") \
+                else info.filename
+            if name == META_KEY:
+                with zf.open(info) as member:
+                    meta = json.loads(
+                        str(np.lib.format.read_array(member,
+                                                     allow_pickle=False)[()])
+                    )
+            elif info.compress_type == zipfile.ZIP_STORED:
+                arrays[name] = _mmap_member(path, fh, info, mmap_mode)
+            else:  # compressed member: mapping impossible, read eagerly
+                with zf.open(info) as member:
+                    arrays[name] = np.lib.format.read_array(
+                        member, allow_pickle=False
+                    )
     return arrays, meta

@@ -1,0 +1,38 @@
+"""``repro.service`` — the sharded, micro-batching query service (S19).
+
+The serving layer the oracle was built for: a long-lived asyncio
+process that answers ``sensitivity`` / ``survives`` /
+``replacement_edge`` / ``entry_threshold`` point queries over one or
+many graph instances, micro-batched into the oracle's vectorised bulk
+kernels, sharded by edge range, and *updateable* — committed weight
+re-pricings are triaged against the oracle's own thresholds into
+in-place patches or incremental pipeline rebuilds with an atomic
+generation swap. See DESIGN.md §"S19 service layer".
+
+Entry points: ``python -m repro serve`` (TCP JSON-lines),
+:class:`ServiceClient` (in-process), :mod:`repro.service.loadgen`.
+"""
+
+from .batching import QUERY_OPS, MicroBatcher, ServiceOverloaded
+from .metrics import LatencyReservoir, ShardMetrics, UpdateMetrics
+from .server import SensitivityService, ServiceClient, ServiceConfig
+from .shards import OracleShard, ShardSpec, plan_shards, route
+from .updates import InstanceUpdater, UpdateReport
+
+__all__ = [
+    "QUERY_OPS",
+    "MicroBatcher",
+    "ServiceOverloaded",
+    "LatencyReservoir",
+    "ShardMetrics",
+    "UpdateMetrics",
+    "SensitivityService",
+    "ServiceClient",
+    "ServiceConfig",
+    "OracleShard",
+    "ShardSpec",
+    "plan_shards",
+    "route",
+    "InstanceUpdater",
+    "UpdateReport",
+]

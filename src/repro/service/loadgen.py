@@ -1,0 +1,327 @@
+"""Load generator for the sensitivity query service.
+
+Drives a query mix (survives / sensitivity / replacement_edge /
+entry_threshold) from many concurrent clients and reports throughput,
+shed rate and latency percentiles. Two transports behind one engine:
+
+* ``run_inprocess(service, ...)`` — drives a
+  :class:`~repro.service.server.SensitivityService` directly (the E13
+  benchmark and tests);
+* ``run_tcp(host, port, ...)`` — JSON-lines over ``clients`` real
+  connections (the CI smoke step), with connect retries so it can be
+  started alongside the server.
+
+CLI (used by CI)::
+
+    python -m repro.service.loadgen --port 7464 --queries 3000 \
+        --clients 16 --shutdown
+
+Exit status is non-zero when nothing was served or any transport-level
+error occurred (wrong-edge-kind responses are the service answering
+correctly and are tallied separately).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["QueryPlan", "make_plan", "run_inprocess", "run_tcp", "main"]
+
+#: op → relative frequency in the default mix.
+DEFAULT_MIX = (
+    ("survives", 0.55),
+    ("sensitivity", 0.25),
+    ("replacement_edge", 0.10),
+    ("entry_threshold", 0.10),
+)
+
+
+class QueryPlan:
+    """A deterministic pre-drawn query stream over named instances."""
+
+    def __init__(self, ops: List[str], instances: List[str],
+                 edges: np.ndarray, weights: np.ndarray):
+        self.ops = ops
+        self.instances = instances
+        self.edges = edges
+        self.weights = weights
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def request(self, i: int) -> Dict:
+        req = {"op": self.ops[i], "instance": self.instances[i],
+               "edge": int(self.edges[i])}
+        if self.ops[i] == "survives":
+            req["weight"] = float(self.weights[i])
+        return req
+
+
+def make_plan(instances: Dict[str, int], total: int,
+              mix: Sequence[Tuple[str, float]] = DEFAULT_MIX,
+              seed: int = 0) -> QueryPlan:
+    """Draw ``total`` queries over ``{instance name: edge count}``.
+
+    Weights for ``survives`` scatter in ``[0, 2]`` — with the
+    unit-interval weight distributions of the generators both outcomes
+    are exercised.
+    """
+    rng = np.random.default_rng(seed)
+    names = sorted(instances)
+    ops_pool = [op for op, _ in mix]
+    probs = np.array([p for _, p in mix], dtype=np.float64)
+    probs /= probs.sum()
+    ops = [ops_pool[i] for i in rng.choice(len(ops_pool), size=total, p=probs)]
+    who = [names[i] for i in rng.integers(0, len(names), size=total)]
+    edges = np.array([rng.integers(0, instances[w]) for w in who],
+                     dtype=np.int64)
+    weights = rng.uniform(0.0, 2.0, size=total)
+    return QueryPlan(ops=ops, instances=who, edges=edges, weights=weights)
+
+
+class LoadStats:
+    """What one load run observed."""
+
+    def __init__(self):
+        self.sent = 0
+        self.answered = 0
+        self.shed = 0
+        self.type_errors = 0
+        self.errors = 0
+        self.wall_s = 0.0
+        self.latencies: List[float] = []
+
+    @property
+    def qps(self) -> float:
+        return self.answered / self.wall_s if self.wall_s > 0 else 0.0
+
+    def tally(self, resp: Dict, latency_s: float) -> None:
+        self.sent += 1
+        if resp.get("ok"):
+            self.answered += 1
+            self.latencies.append(latency_s)
+        elif resp.get("shed"):
+            self.shed += 1
+        elif resp.get("error_kind") == "type":
+            self.type_errors += 1   # service correctly refused the op kind
+            self.answered += 1
+            self.latencies.append(latency_s)
+        else:
+            self.errors += 1
+
+    def summary(self) -> Dict:
+        lats = np.asarray(self.latencies, dtype=np.float64)
+        return {
+            "sent": self.sent,
+            "answered": self.answered,
+            "shed": self.shed,
+            "type_errors": self.type_errors,
+            "errors": self.errors,
+            "wall_s": round(self.wall_s, 4),
+            "qps": round(self.qps, 1),
+            "p50_ms": round(float(np.percentile(lats, 50)) * 1e3, 3)
+            if len(lats) else None,
+            "p99_ms": round(float(np.percentile(lats, 99)) * 1e3, 3)
+            if len(lats) else None,
+        }
+
+
+async def _drive(submit, plan: QueryPlan, clients: int) -> LoadStats:
+    """Fan ``plan`` over ``clients`` concurrent workers via ``submit``."""
+    stats = LoadStats()
+    counter = {"next": 0}
+
+    async def worker(wid: int) -> None:
+        while True:
+            i = counter["next"]
+            if i >= len(plan):
+                return
+            counter["next"] = i + 1
+            t0 = time.perf_counter()
+            resp = await submit(wid, plan.request(i))
+            stats.tally(resp, time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(worker(w) for w in range(max(1, clients))))
+    stats.wall_s = time.perf_counter() - t0
+    return stats
+
+
+async def run_inprocess(service, plan: QueryPlan, clients: int = 64,
+                        pipeline: int = 1) -> LoadStats:
+    """Drive an in-process service with concurrent client coroutines.
+
+    ``pipeline=1`` awaits each response before sending the next query
+    (strictly serial clients, one response dict per query).
+    ``pipeline > 1`` keeps that many point queries in flight per
+    client via :meth:`~repro.service.server.SensitivityService.
+    submit_nowait` — the multiplexed-client mode the E13 benchmark
+    uses. Latency percentiles then live in the *service* metrics
+    (per-query submit→dispatch time); the loadgen-side reservoir stays
+    empty.
+    """
+    if pipeline <= 1:
+        async def submit(_wid: int, req: Dict) -> Dict:
+            return await service.handle_request(req)
+
+        return await _drive(submit, plan, clients)
+
+    from .batching import ServiceOverloaded
+
+    stats = LoadStats()
+    counter = {"next": 0}
+    total = len(plan)
+    ops, edges, weights, who = (plan.ops, plan.edges, plan.weights,
+                                plan.instances)
+
+    t0 = time.perf_counter()
+    # client-side routing table, resolved vectorised up front (the
+    # cluster-client pattern: shard boundaries are static per
+    # generation, so per-query routing is one array lookup)
+    target = np.empty(total, dtype=object)
+    who_arr = np.array(who)
+    for name in set(who):
+        inst = service.instances[name]
+        bounds = np.array([s.edge_lo for s in inst.specs[1:]],
+                          dtype=np.int64)
+        mask = who_arr == name
+        shard_of = np.searchsorted(bounds, edges[mask], side="right")
+        batchers = inst.batchers
+        target[mask] = [batchers[s] for s in shard_of]
+
+    async def worker() -> None:
+        while True:
+            i0 = counter["next"]
+            if i0 >= total:
+                return
+            i1 = min(i0 + pipeline, total)
+            counter["next"] = i1
+            futs = []
+            for i in range(i0, i1):
+                op = ops[i]
+                w = float(weights[i]) if op == "survives" else None
+                try:
+                    futs.append(target[i].submit(op, edges[i], w))
+                except ServiceOverloaded:
+                    stats.sent += 1
+                    stats.shed += 1
+            for fut in futs:
+                if not fut.done():
+                    await fut
+                _gen, ok, _value, error_kind = fut.result()
+                stats.sent += 1
+                if ok:
+                    stats.answered += 1
+                elif error_kind == "type":
+                    stats.type_errors += 1
+                    stats.answered += 1
+                else:
+                    stats.errors += 1
+
+    await asyncio.gather(*(worker() for _ in range(max(1, clients))))
+    stats.wall_s = time.perf_counter() - t0
+    return stats
+
+
+async def run_tcp(host: str, port: int, plan: QueryPlan, clients: int = 16,
+                  connect_timeout_s: float = 15.0,
+                  shutdown: bool = False) -> LoadStats:
+    """Drive a remote service over ``clients`` JSON-lines connections."""
+    conns = []
+    deadline = time.perf_counter() + connect_timeout_s
+    for _ in range(max(1, clients)):
+        while True:
+            try:
+                conns.append(await asyncio.open_connection(host, port))
+                break
+            except OSError:
+                if time.perf_counter() >= deadline:
+                    raise
+                await asyncio.sleep(0.2)
+
+    locks = [asyncio.Lock() for _ in conns]
+
+    async def submit(wid: int, req: Dict) -> Dict:
+        reader, writer = conns[wid % len(conns)]
+        async with locks[wid % len(conns)]:  # one request in flight per conn
+            writer.write((json.dumps(req) + "\n").encode())
+            await writer.drain()
+            line = await reader.readline()
+        if not line:
+            return {"ok": False, "error": "connection closed"}
+        return json.loads(line)
+
+    try:
+        stats = await _drive(submit, plan, len(conns))
+        if shutdown:
+            await submit(0, {"op": "shutdown"})
+    finally:
+        for _, writer in conns:
+            writer.close()
+    return stats
+
+
+async def _main_async(args) -> int:
+    reader, writer = None, None
+    deadline = time.perf_counter() + args.connect_timeout
+    while True:  # discover instances (retrying while the server boots)
+        try:
+            reader, writer = await asyncio.open_connection(args.host,
+                                                           args.port)
+            break
+        except OSError:
+            if time.perf_counter() >= deadline:
+                print(f"could not connect to {args.host}:{args.port}",
+                      file=sys.stderr)
+                return 1
+            await asyncio.sleep(0.2)
+    writer.write(b'{"op": "instances"}\n')
+    await writer.drain()
+    desc = json.loads(await reader.readline())
+    writer.close()
+    if not desc.get("ok"):
+        print(f"instances query failed: {desc}", file=sys.stderr)
+        return 1
+    instances = {name: info["m"] for name, info in desc["result"].items()}
+    print(f"instances: "
+          f"{', '.join(f'{k} (m={v})' for k, v in sorted(instances.items()))}")
+
+    plan = make_plan(instances, args.queries, seed=args.seed)
+    stats = await run_tcp(args.host, args.port, plan, clients=args.clients,
+                          connect_timeout_s=args.connect_timeout,
+                          shutdown=args.shutdown)
+    s = stats.summary()
+    print(f"served {s['answered']:,} of {s['sent']:,} queries in "
+          f"{s['wall_s']:.2f}s ({s['qps']:,.0f} qps), "
+          f"shed {s['shed']}, transport errors {s['errors']}, "
+          f"p50 {s['p50_ms']}ms p99 {s['p99_ms']}ms")
+    ok = s["answered"] > 0 and s["qps"] > 0 and s["errors"] == 0
+    return 0 if ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="load-generate against a running repro serve process"
+    )
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=7464)
+    ap.add_argument("--queries", type=int, default=5000)
+    ap.add_argument("--clients", type=int, default=16)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--connect-timeout", type=float, default=15.0,
+                    help="seconds to retry the first connection")
+    ap.add_argument("--shutdown", action="store_true",
+                    help="send a shutdown op after the run")
+    args = ap.parse_args(argv)
+    return asyncio.run(_main_async(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Per-shard and service-level serving metrics.
+
+Lightweight counters plus a fixed-size latency reservoir (the last
+``capacity`` observations, vectorised percentile on snapshot). Shards
+own a :class:`ShardMetrics`; the service folds them into one snapshot
+dict next to the write-path counters — the numbers the E13 benchmark
+and the ``metrics`` wire op report: qps, batch occupancy, p50/p99
+latency, shed count, generation swaps, update classifications.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["LatencyReservoir", "ShardMetrics", "UpdateMetrics"]
+
+
+class LatencyReservoir:
+    """Ring buffer of the most recent latencies (seconds)."""
+
+    def __init__(self, capacity: int = 4096):
+        self._buf = np.zeros(capacity, dtype=np.float64)
+        self._pos = 0
+        self._count = 0
+
+    def extend(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        cap = len(self._buf)
+        if len(values) >= cap:  # keep only the newest window
+            self._buf[:] = values[-cap:]
+            self._pos = 0
+            self._count = cap
+            return
+        end = self._pos + len(values)
+        if end <= cap:
+            self._buf[self._pos:end] = values
+        else:
+            cut = cap - self._pos
+            self._buf[self._pos:] = values[:cut]
+            self._buf[: end - cap] = values[cut:]
+        self._pos = end % cap
+        self._count = min(cap, self._count + len(values))
+
+    def percentile(self, q: float) -> Optional[float]:
+        if self._count == 0:
+            return None
+        return float(np.percentile(self._buf[: self._count], q))
+
+
+class ShardMetrics:
+    """Counters one shard worker updates on every dispatched batch."""
+
+    def __init__(self, reservoir: int = 4096):
+        self.queries = 0
+        self.batches = 0
+        self.shed = 0
+        self.type_errors = 0  # wrong-edge-kind queries answered with an error
+        self.swaps = 0
+        self.patched = 0      # oracle-preserving in-place re-pricings
+        self.latency = LatencyReservoir(reservoir)
+
+    def record_batch(self, size: int, latencies: np.ndarray) -> None:
+        self.queries += size
+        self.batches += 1
+        self.latency.extend(latencies)
+
+    def snapshot(self, uptime_s: Optional[float] = None) -> Dict:
+        occupancy = self.queries / self.batches if self.batches else 0.0
+        out = {
+            "queries": self.queries,
+            "batches": self.batches,
+            "batch_occupancy": round(occupancy, 2),
+            "shed": self.shed,
+            "type_errors": self.type_errors,
+            "generation_swaps": self.swaps,
+            "patched": self.patched,
+            "p50_ms": _ms(self.latency.percentile(50)),
+            "p99_ms": _ms(self.latency.percentile(99)),
+        }
+        if uptime_s:
+            out["qps"] = round(self.queries / uptime_s, 1)
+        return out
+
+
+class UpdateMetrics:
+    """Write-path counters (per instance)."""
+
+    def __init__(self):
+        self.applied_preserving = 0
+        self.applied_rebuild = 0
+        self.rejected = 0
+        self.stages_executed = 0
+        self.stages_cached = 0
+        self.rebuild_wall_s = 0.0
+
+    def snapshot(self) -> Dict:
+        return {
+            "preserving": self.applied_preserving,
+            "rebuilds": self.applied_rebuild,
+            "rejected": self.rejected,
+            "stages_executed": self.stages_executed,
+            "stages_cached": self.stages_cached,
+            "rebuild_wall_s": round(self.rebuild_wall_s, 4),
+        }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1e3, 3)
+
+
+def now() -> float:
+    return time.perf_counter()

@@ -1,0 +1,416 @@
+"""The asyncio query service: sharded, micro-batching, updateable.
+
+One :class:`SensitivityService` hosts any number of named graph
+instances. Per instance it keeps the authoritative weights, an
+:class:`~repro.pipeline.ArtifactStore` (for incremental rebuilds), and
+``shards`` edge-range :class:`~repro.service.shards.OracleShard`
+workers, each fronted by a
+:class:`~repro.service.batching.MicroBatcher`. Reads route by edge
+index to a shard queue and come back micro-batched; writes serialise
+through the instance's update lock and either patch in place
+(oracle-preserving) or rebuild + atomically swap a new oracle
+generation (see :mod:`repro.service.updates`). Rebuilds run on a
+worker thread, so the event loop keeps serving reads from the old
+generation throughout.
+
+Two front doors share one dispatch path:
+
+* in-process: :class:`ServiceClient` (tests, benchmarks, embedding) —
+  no serialisation, plain dicts;
+* TCP JSON-lines: one request object per line, one response per line,
+  ``id`` echoed when present (``python -m repro serve`` +
+  :mod:`repro.service.loadgen`). Non-finite floats use Python's JSON
+  extension (``Infinity``/``NaN`` literals), matching the stdlib on
+  both ends.
+
+Wire ops: the four point queries (``sensitivity`` / ``survives`` /
+``replacement_edge`` / ``entry_threshold``), ``update``, ``metrics``,
+``instances``, ``ping``, ``shutdown``. Overload is a structured
+``{"ok": false, "shed": true}`` response, not an ever-growing queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ValidationError
+from ..graph.graph import WeightedGraph
+from ..mpc import MPCConfig
+from ..oracle import SensitivityOracle
+from ..pipeline import ArtifactStore
+from .batching import QUERY_OPS, MicroBatcher, ServiceOverloaded
+from .shards import OracleShard, ShardSpec, plan_shards, route
+from .updates import InstanceUpdater, UpdateReport
+
+__all__ = ["ServiceConfig", "SensitivityService", "ServiceClient"]
+
+
+@dataclass
+class ServiceConfig:
+    """Deployment knobs for one service process."""
+
+    shards: int = 2                  #: edge-range shards per instance
+    max_batch: int = 512             #: micro-batch size cap
+    batch_window_s: float = 0.002    #: latency window a batch may wait
+    queue_depth: int = 4096          #: per-shard bound before shedding
+    engine: str = "local"            #: pipeline engine for (re)builds
+    oracle_labels: bool = True       #: treat rooting/DFS as black boxes
+    config: Optional[MPCConfig] = None
+    cache_dir: Optional[str] = None  #: persistent artifact store
+    mmap_dir: Optional[str] = None   #: share oracle snapshots via mmap
+    host: str = "127.0.0.1"
+    port: int = 7464
+
+
+@dataclass
+class _Instance:
+    name: str
+    updater: InstanceUpdater
+    shards: List[OracleShard]
+    batchers: List[MicroBatcher]
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+    @property
+    def specs(self) -> List[ShardSpec]:
+        return [s.spec for s in self.shards]
+
+
+class SensitivityService:
+    """Front-end + shard pool + write path for N graph instances."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.instances: Dict[str, _Instance] = {}
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self._started = False
+        self._conn_tasks: set = set()
+        self._conn_writers: set = set()
+
+    # -- instance lifecycle ----------------------------------------------------
+
+    def add_instance(self, name: str, graph: WeightedGraph,
+                     oracle: Optional[SensitivityOracle] = None) -> None:
+        """Register ``name`` and build (or adopt) its first generation.
+
+        The graph is copied — the service owns the authoritative
+        weights from here on. With ``oracle`` given the build is
+        skipped (it must belong to this graph).
+        """
+        if name in self.instances:
+            raise ValidationError(f"instance {name!r} already registered")
+        cfg = self.config
+        graph = graph.copy()
+        store = (ArtifactStore(cache_dir=cfg.cache_dir)
+                 if cfg.cache_dir is not None else ArtifactStore())
+        if oracle is None:
+            updater = InstanceUpdater.build(
+                name, graph, engine=cfg.engine, config=cfg.config,
+                oracle_labels=cfg.oracle_labels, store=store,
+                mmap_dir=cfg.mmap_dir,
+            )
+        else:
+            updater = InstanceUpdater(
+                name, graph, oracle, engine=cfg.engine, config=cfg.config,
+                oracle_labels=cfg.oracle_labels, store=store,
+                mmap_dir=cfg.mmap_dir,
+            )
+        specs = plan_shards(graph.m, cfg.shards)
+        oracles = updater.shard_oracles(len(specs))
+        shards = [OracleShard(spec, orc) for spec, orc in zip(specs, oracles)]
+        batchers = [
+            MicroBatcher(s, max_batch=cfg.max_batch,
+                         window_s=cfg.batch_window_s,
+                         queue_depth=cfg.queue_depth)
+            for s in shards
+        ]
+        inst = _Instance(name=name, updater=updater, shards=shards,
+                         batchers=batchers)
+        self.instances[name] = inst
+        if self._started:
+            for b in batchers:
+                b.start()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self, serve_tcp: bool = False) -> None:
+        """Start shard workers (and, optionally, the TCP front door)."""
+        self._started = True
+        self.started_at = time.perf_counter()
+        for inst in self.instances.values():
+            for b in inst.batchers:
+                b.start()
+        if serve_tcp:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+
+    @property
+    def tcp_address(self) -> Optional[tuple]:
+        """Actual ``(host, port)`` once TCP is up (port 0 resolves here)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        """Drain every shard queue, stop workers, close the listener.
+
+        Open connections are closed server-side first so their handler
+        tasks exit on EOF instead of being cancelled at loop teardown.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for inst in self.instances.values():
+            for b in inst.batchers:
+                await b.stop()
+        self._started = False
+        self._shutdown.set()
+
+    async def serve_forever(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        await self._shutdown.wait()
+
+    # -- read path -------------------------------------------------------------
+
+    def _instance(self, name: Optional[str]) -> _Instance:
+        if name is None and len(self.instances) == 1:
+            return next(iter(self.instances.values()))
+        if name not in self.instances:
+            raise ValidationError(
+                f"unknown instance {name!r} "
+                f"(have: {sorted(self.instances)})"
+            )
+        return self.instances[name]
+
+    def submit_nowait(self, op: str, edge: int,
+                      weight: Optional[float] = None,
+                      instance: Optional[str] = None) -> "asyncio.Future":
+        """Pipelined fast path: enqueue without awaiting.
+
+        Returns the shard future resolving to ``(generation, ok,
+        value, error_kind)``. This is how a multiplexing in-process
+        client keeps
+        hundreds of point queries in flight (the wire analogue is
+        HTTP/2-style pipelining); the batcher sees exactly the same
+        queue items as :meth:`query`. Raises
+        :class:`~repro.service.batching.ServiceOverloaded` on a full
+        queue and :class:`~repro.errors.ValidationError` on a bad
+        instance/edge/op.
+        """
+        if op not in QUERY_OPS:
+            raise ValidationError(f"unknown query op {op!r}")
+        inst = self._instance(instance)
+        shard_i = route(inst.specs, int(edge))
+        return inst.batchers[shard_i].submit(op, edge, weight)
+
+    async def query(self, op: str, edge: int,
+                    weight: Optional[float] = None,
+                    instance: Optional[str] = None) -> Dict:
+        """One point query; resolves when its micro-batch dispatches."""
+        if op not in QUERY_OPS:
+            return {"ok": False, "error": f"unknown query op {op!r}"}
+        try:
+            inst = self._instance(instance)
+            shard_i = route(inst.specs, int(edge))
+        except (ValidationError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": str(exc)}
+        try:
+            fut = inst.batchers[shard_i].submit(op, edge, weight)
+        except ServiceOverloaded as exc:
+            return {"ok": False, "shed": True, "error": str(exc)}
+        except ValidationError as exc:  # e.g. service not started
+            return {"ok": False, "error": str(exc)}
+        generation, ok, value, error_kind = await fut
+        resp = {"ok": ok, "generation": generation, "shard": shard_i}
+        resp["result" if ok else "error"] = value
+        if error_kind is not None:
+            resp["error_kind"] = error_kind
+        return resp
+
+    # -- write path ------------------------------------------------------------
+
+    async def update(self, edge: int, weight: float,
+                     instance: Optional[str] = None) -> Dict:
+        """Commit ``w(edge) := weight`` (serialised per instance).
+
+        Rebuilds run on a worker thread so reads keep flowing from the
+        old generation; the swap is atomic per shard.
+        """
+        try:
+            inst = self._instance(instance)
+            edge = int(edge)
+            weight = float(weight)
+            if not 0 <= edge < inst.updater.graph.m:
+                raise ValidationError(
+                    f"edge index {edge} out of range "
+                    f"[0, {inst.updater.graph.m})"
+                )
+        except (ValidationError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": str(exc)}
+        async with inst.lock:
+            report: UpdateReport = await asyncio.get_running_loop() \
+                .run_in_executor(None, inst.updater.apply, inst.shards,
+                                 edge, weight)
+        out = report.to_dict()
+        out["ok"] = report.action != "rejected"
+        return out
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe_instances(self) -> Dict:
+        return {
+            name: {
+                "n": inst.updater.graph.n,
+                "m": inst.updater.graph.m,
+                "m_tree": inst.updater.graph.m_tree,
+                "generation": inst.updater.generation,
+                "shards": [
+                    {"shard": s.spec.shard_id, "edge_lo": s.spec.edge_lo,
+                     "edge_hi": s.spec.edge_hi}
+                    for s in inst.shards
+                ],
+            }
+            for name, inst in self.instances.items()
+        }
+
+    def metrics(self) -> Dict:
+        uptime = (time.perf_counter() - self.started_at
+                  if self.started_at is not None else 0.0)
+        per_instance = {}
+        total_queries = total_shed = 0
+        for name, inst in self.instances.items():
+            shard_snaps = [s.metrics.snapshot(uptime) for s in inst.shards]
+            total_queries += sum(s["queries"] for s in shard_snaps)
+            total_shed += sum(s["shed"] for s in shard_snaps)
+            per_instance[name] = {
+                "generation": inst.updater.generation,
+                "shards": shard_snaps,
+                "updates": inst.updater.metrics.snapshot(),
+                "store": inst.updater.store.stats(),
+            }
+        return {
+            "uptime_s": round(uptime, 3),
+            "queries": total_queries,
+            "qps": round(total_queries / uptime, 1) if uptime else 0.0,
+            "shed": total_shed,
+            "instances": per_instance,
+        }
+
+    # -- TCP JSON-lines front door ---------------------------------------------
+
+    async def handle_request(self, req: Dict) -> Dict:
+        """Dispatch one already-parsed request object (shared path)."""
+        op = req.get("op")
+        if op in QUERY_OPS:
+            resp = await self.query(op, req.get("edge", -1),
+                                    weight=req.get("weight"),
+                                    instance=req.get("instance"))
+        elif op == "update":
+            resp = await self.update(req.get("edge", -1),
+                                     req.get("weight", float("nan")),
+                                     instance=req.get("instance"))
+        elif op == "metrics":
+            resp = {"ok": True, "result": self.metrics()}
+        elif op == "instances":
+            resp = {"ok": True, "result": self.describe_instances()}
+        elif op == "ping":
+            resp = {"ok": True, "result": "pong"}
+        elif op == "shutdown":
+            resp = {"ok": True, "result": "bye"}
+        else:
+            resp = {"ok": False, "error": f"unknown op {op!r}"}
+        if "id" in req:
+            resp["id"] = req["id"]
+        return resp
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._conn_writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                try:
+                    req = json.loads(line)
+                    if not isinstance(req, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    resp = {"ok": False, "error": f"bad request: {exc}"}
+                    req = {}
+                else:
+                    resp = await self.handle_request(req)
+                writer.write((json.dumps(resp) + "\n").encode())
+                await writer.drain()
+                if req.get("op") == "shutdown":
+                    self._shutdown.set()
+                    break
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+
+class ServiceClient:
+    """In-process client: the wire protocol without the wire.
+
+    Typed helpers raise on error responses; :meth:`call` returns the
+    raw response dict (what a TCP client would read back), which is
+    what tests use to observe sheds and structured errors.
+    """
+
+    def __init__(self, service: SensitivityService,
+                 instance: Optional[str] = None):
+        self.service = service
+        self.instance = instance
+
+    async def call(self, op: str, **kw) -> Dict:
+        req = {"op": op, **kw}
+        if "instance" not in req and self.instance is not None:
+            req["instance"] = self.instance
+        return await self.service.handle_request(req)
+
+    async def _value(self, op: str, **kw):
+        resp = await self.call(op, **kw)
+        if not resp.get("ok"):
+            raise ValidationError(resp.get("error", "query failed"))
+        return resp["result"]
+
+    async def sensitivity(self, edge: int, **kw) -> float:
+        return await self._value("sensitivity", edge=edge, **kw)
+
+    async def survives(self, edge: int, weight: float, **kw) -> bool:
+        return await self._value("survives", edge=edge, weight=weight, **kw)
+
+    async def replacement_edge(self, edge: int, **kw) -> Optional[int]:
+        return await self._value("replacement_edge", edge=edge, **kw)
+
+    async def entry_threshold(self, edge: int, **kw) -> float:
+        return await self._value("entry_threshold", edge=edge, **kw)
+
+    async def update(self, edge: int, weight: float, **kw) -> Dict:
+        return await self.call("update", edge=edge, weight=weight, **kw)
+
+    async def metrics(self) -> Dict:
+        return await self._value("metrics")

@@ -1,0 +1,104 @@
+"""Edge-range sharding of one instance's oracle across worker slots.
+
+A serving instance splits its edge index space ``[0, m)`` into
+contiguous near-equal ranges, one :class:`OracleShard` per range.
+Queries route by plain integer arithmetic on the edge index; each shard
+runs its own micro-batcher, so hot ranges fill their own batches and
+per-shard metrics localise load.
+
+Every shard holds a reference to a full oracle (all queries are O(1)
+array lookups — the range only scopes *routing*, not storage). With
+``mmap_dir`` set the shards each map one shared uncompressed ``.npz``
+snapshot (:meth:`~repro.oracle.SensitivityOracle.load` with
+``mmap_mode="r"``), so N workers — or N processes in a real deployment
+— share a single page-cached copy.
+
+Generation swaps are torn-read-free by construction: the shard's
+``(generation, oracle)`` pair lives in one tuple attribute, every
+batch dispatch snapshots that tuple once, and a swap replaces the
+tuple wholesale. In-flight batches finish on the generation they
+started on; the next batch sees the new one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ValidationError
+from ..oracle import SensitivityOracle
+from .metrics import ShardMetrics
+
+__all__ = ["ShardSpec", "OracleShard", "plan_shards", "route"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous edge-index range ``[edge_lo, edge_hi)``."""
+
+    shard_id: int
+    edge_lo: int
+    edge_hi: int
+
+    def __len__(self) -> int:
+        return self.edge_hi - self.edge_lo
+
+
+def plan_shards(m: int, n_shards: int) -> List[ShardSpec]:
+    """Split ``[0, m)`` into ``n_shards`` near-equal contiguous ranges."""
+    if n_shards < 1:
+        raise ValidationError("need at least one shard")
+    n_shards = min(n_shards, m) or 1
+    base, rem = divmod(m, n_shards)
+    specs, lo = [], 0
+    for i in range(n_shards):
+        hi = lo + base + (1 if i < rem else 0)
+        specs.append(ShardSpec(shard_id=i, edge_lo=lo, edge_hi=hi))
+        lo = hi
+    return specs
+
+
+def route(specs: List[ShardSpec], edge: int) -> int:
+    """Shard index owning ``edge`` (ranges are contiguous and sorted)."""
+    m = specs[-1].edge_hi
+    if not 0 <= edge < m:
+        raise ValidationError(f"edge index {edge} out of range [0, {m})")
+    # equal split up to a +1 remainder: guess then correct at most once
+    i = min(edge * len(specs) // m, len(specs) - 1)
+    while edge < specs[i].edge_lo:
+        i -= 1
+    while edge >= specs[i].edge_hi:
+        i += 1
+    return i
+
+
+class OracleShard:
+    """One worker slot: a range spec + the current (generation, oracle)."""
+
+    def __init__(self, spec: ShardSpec, oracle: SensitivityOracle,
+                 generation: int = 0):
+        self.spec = spec
+        self._state: Tuple[int, SensitivityOracle] = (generation, oracle)
+        self.metrics = ShardMetrics()
+
+    @property
+    def generation(self) -> int:
+        return self._state[0]
+
+    @property
+    def oracle(self) -> SensitivityOracle:
+        return self._state[1]
+
+    def snapshot(self) -> Tuple[int, SensitivityOracle]:
+        """The consistent pair a batch dispatch must read exactly once."""
+        return self._state
+
+    def swap(self, oracle: SensitivityOracle, generation: int) -> None:
+        """Atomically publish a new oracle generation."""
+        self._state = (generation, oracle)
+        self.metrics.swaps += 1
+
+    def reprice(self, edge: int, new_weight: float) -> None:
+        """In-place oracle-preserving patch (no generation bump)."""
+        self._state[1].reprice(edge, new_weight)
+        self.metrics.patched += 1

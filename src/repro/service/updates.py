@@ -1,0 +1,228 @@
+"""The write path: committed weight updates against a live instance.
+
+Every update ``w(e) := x`` is triaged with the serving oracle's own
+thresholds — no pipeline work — into one of three outcomes:
+
+``rejected``
+    ``survives(e, x)`` is false: the flagged tree would stop being an
+    MST, so the update would invalidate the structure every query is
+    about. The service refuses it and reports the threshold crossed
+    (callers see exactly how far they can re-price).
+
+``patched`` (oracle-preserving)
+    Every stored threshold provably keeps its value, so the update is
+    a two-cell in-place patch served with zero pipeline stages. The
+    preserved cases, with the one-line proofs:
+
+    * *no-op* (``x == w(e)``): nothing changed.
+    * *bridge tree edge*: no non-tree edge covers ``e`` (``mc = ∞``),
+      so no ``pathmax`` crosses it and no ``mc`` mentions it.
+    * *non-tree edge, raised, not a covering minimiser*
+      (``x ≥ w(e)`` and ``e ∉ cover_edge``): ``e`` attains no tree
+      edge's ``mc``, and raising a non-minimum keeps every minimum;
+      ``pathmax`` never reads non-tree weights. (Old weight ≥ its
+      pathmax on a served MST, so ``survives`` holds automatically.)
+
+    Only the edge's own slack depends on its weight, so the patch is
+    ``w[e] = x; sens[e] = ±(threshold[e] - x)``.
+
+``rebuilt`` (structure-changing)
+    Any other update can move thresholds, so the Theorem 4.1 pipeline
+    re-runs — against the instance's artifact store, where the
+    weight-scoped stage keys (``Stage.weight_scope``) replay every
+    stage that did not read the changed weights. A non-tree re-pricing
+    replays the whole validate→lca prefix and re-runs only the
+    weight-reading suffix. The new oracle swaps into every shard as
+    one new generation; in-flight batches finish on their snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..graph.graph import WeightedGraph
+from ..mpc import MPCConfig
+from ..oracle import SensitivityOracle
+from ..pipeline import ArtifactStore, run_sensitivity, verification_pipeline
+from .metrics import UpdateMetrics
+from .shards import OracleShard, route
+
+__all__ = ["UpdateReport", "InstanceUpdater"]
+
+#: Stage names of the Theorem 3.1 prefix (for re-run accounting).
+VERIFICATION_STAGE_NAMES = tuple(verification_pipeline().stage_names())
+
+
+@dataclass
+class UpdateReport:
+    """Flat, JSON-friendly outcome of one weight update."""
+
+    instance: str
+    edge: int
+    old_weight: float
+    new_weight: float
+    action: str                     # "rejected" | "patched" | "rebuilt"
+    survives: bool
+    threshold: float
+    generation: int
+    stages_executed: int = 0
+    stages_cached: int = 0
+    verification_reruns: int = 0
+    executed: List[str] = field(default_factory=list)
+    cached: List[str] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+class InstanceUpdater:
+    """Owns one instance's authoritative weights and its rebuild loop."""
+
+    def __init__(self, name: str, graph: WeightedGraph,
+                 oracle: SensitivityOracle, *,
+                 engine: str = "local", config: Optional[MPCConfig] = None,
+                 oracle_labels: bool = True,
+                 store: Optional[ArtifactStore] = None,
+                 mmap_dir: Optional[str] = None):
+        self.name = name
+        self.graph = graph          # authoritative (mutated by updates)
+        self.oracle = oracle        # latest generation (shared or template)
+        self.engine = engine
+        self.config = config
+        self.oracle_labels = oracle_labels
+        self.store = store if store is not None else ArtifactStore()
+        self.mmap_dir = mmap_dir
+        self.generation = 0
+        self.metrics = UpdateMetrics()
+        self._snapshot_path: Optional[str] = None
+
+    def shard_oracles(self, n_shards: int) -> List[SensitivityOracle]:
+        """The oracle objects a new generation hands to its shards.
+
+        Without ``mmap_dir`` every shard shares the in-memory oracle.
+        With it, the generation is snapshotted once to an uncompressed
+        ``.npz`` and every shard maps that file read-only — one
+        page-cached copy behind N workers.
+        """
+        if self.mmap_dir is None:
+            return [self.oracle] * n_shards
+        import os
+
+        os.makedirs(self.mmap_dir, exist_ok=True)
+        path = os.path.join(
+            self.mmap_dir, f"{self.name}-gen{self.generation:04d}.npz"
+        )
+        self.oracle.save(path, compressed=False)
+        oracles = [SensitivityOracle.load(path, mmap_mode="r")
+                   for _ in range(n_shards)]
+        # unlink the superseded snapshot so a long-lived service keeps
+        # at most one file per instance: already-mapped pages stay
+        # valid after unlink on POSIX (best-effort elsewhere)
+        if self._snapshot_path is not None and self._snapshot_path != path:
+            try:
+                os.unlink(self._snapshot_path)
+            except OSError:  # pragma: no cover - e.g. mapped on Windows
+                pass
+        self._snapshot_path = path
+        return oracles
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(cls, name: str, graph: WeightedGraph, *,
+              engine: str = "local", config: Optional[MPCConfig] = None,
+              oracle_labels: bool = True,
+              store: Optional[ArtifactStore] = None,
+              mmap_dir: Optional[str] = None) -> "InstanceUpdater":
+        """Cold-build the first oracle generation (populates the store)."""
+        store = store if store is not None else ArtifactStore()
+        result, _run = run_sensitivity(
+            graph, engine=engine, config=config,
+            oracle_labels=oracle_labels, store=store,
+        )
+        oracle = SensitivityOracle.from_result(graph, result)
+        return cls(name, graph, oracle, engine=engine, config=config,
+                   oracle_labels=oracle_labels, store=store,
+                   mmap_dir=mmap_dir)
+
+    # -- classification --------------------------------------------------------
+
+    def classify(self, edge: int, new_weight: float) -> str:
+        """Triage one update: ``rejected`` / ``patched`` / ``rebuilt``."""
+        oracle = self.oracle
+        if not oracle.survives(edge, new_weight):
+            return "rejected"
+        old = float(oracle.w[edge])
+        if new_weight == old:
+            return "patched"  # no-op
+        if oracle.tree_mask[edge]:
+            if not float("-inf") < oracle.threshold[edge] < float("inf"):
+                return "patched"  # bridge: nothing covers it
+            return "rebuilt"
+        if new_weight >= old and not oracle.covering_edges()[edge]:
+            return "patched"
+        return "rebuilt"
+
+    # -- application (synchronous; the server serialises + offloads it) --------
+
+    def apply(self, shards: List[OracleShard], edge: int,
+              new_weight: float) -> UpdateReport:
+        t0 = time.perf_counter()
+        oracle = self.oracle
+        edge = int(edge)
+        new_weight = float(new_weight)
+        old = float(self.graph.w[edge])
+        action = self.classify(edge, new_weight)
+        report = UpdateReport(
+            instance=self.name, edge=edge, old_weight=old,
+            new_weight=new_weight, action=action,
+            survives=action != "rejected",
+            threshold=float(oracle.threshold[edge]),
+            generation=self.generation,
+        )
+        if action == "rejected":
+            self.metrics.rejected += 1
+        elif action == "patched":
+            self.graph.w[edge] = new_weight
+            patched = set()
+            owner = shards[route([s.spec for s in shards], edge)]
+            owner.reprice(edge, new_weight)
+            patched.add(id(owner.oracle))
+            # mmap mode gives every shard (and the updater) its own
+            # oracle object over shared pages; patch each one once
+            for other in shards:
+                if id(other.oracle) not in patched:
+                    other.oracle.reprice(edge, new_weight)
+                    patched.add(id(other.oracle))
+            if id(self.oracle) not in patched:
+                self.oracle.reprice(edge, new_weight)
+            self.metrics.applied_preserving += 1
+        else:
+            self.graph.w[edge] = new_weight
+            result, run = run_sensitivity(
+                self.graph, engine=self.engine, config=self.config,
+                oracle_labels=self.oracle_labels, store=self.store,
+            )
+            self.oracle = SensitivityOracle.from_result(self.graph, result)
+            self.generation += 1
+            for shard, orc in zip(shards, self.shard_oracles(len(shards))):
+                shard.swap(orc, self.generation)
+            report.generation = self.generation
+            report.executed = list(run.executed_stages)
+            report.cached = list(run.cached_stages)
+            report.stages_executed = len(run.executed_stages)
+            report.stages_cached = len(run.cached_stages)
+            report.verification_reruns = sum(
+                1 for s in run.executed_stages
+                if s in VERIFICATION_STAGE_NAMES
+            )
+            self.metrics.applied_rebuild += 1
+            self.metrics.stages_executed += report.stages_executed
+            self.metrics.stages_cached += report.stages_cached
+        report.wall_s = time.perf_counter() - t0
+        if action == "rebuilt":
+            self.metrics.rebuild_wall_s += report.wall_s
+        return report

@@ -58,7 +58,10 @@ def test_backbone_planning():
 
 def test_weight_update_service():
     out = run_example("weight_update_service.py")
-    assert "served 1,000,000 weight-update queries" in out
+    assert "served 200,000 weight-update queries" in out
+    assert "shed 0" in out
+    assert "patched — 0 pipeline stages" in out
+    assert "rebuilt — replayed 6 cached stages" in out
     assert "standby replacements" in out
     assert "keeps the backbone optimal" in out
 

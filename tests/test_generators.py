@@ -10,10 +10,12 @@ from repro.graph.generators import (
     backbone_tree,
     balanced_tree,
     caterpillar_tree,
+    grid_tree,
     known_mst_instance,
     one_vs_two_cycles_instance,
     path_tree,
     perturb_break_mst,
+    power_law_tree,
     random_connected_graph,
     random_recursive_tree,
     star_tree,
@@ -162,3 +164,45 @@ class TestLowerBoundFamily:
         g, _ = one_vs_two_cycles_instance(30, False, rng=9)
         cyc_u = g.u[: 30]
         assert not np.array_equal(np.sort(cyc_u), cyc_u)
+
+
+class TestWorkloadDiversityShapes:
+    """The S19 service-benchmark families: grid and power_law."""
+
+    def test_grid_diameter_is_sqrt_n(self):
+        for n in (100, 400, 1600):
+            d = grid_tree(n).diameter()
+            root_n = int(np.sqrt(n))
+            assert root_n <= d <= 3 * root_n, (n, d)
+
+    def test_grid_structure_is_comb(self):
+        t = grid_tree(16)  # 4x4
+        assert np.array_equal(t.parent[:4], [0, 0, 1, 2])  # spine row
+        assert np.array_equal(t.parent[4:8], [0, 1, 2, 3])  # next row
+
+    def test_grid_small_sizes(self):
+        for n in (1, 2, 3, 5):
+            t = grid_tree(n)
+            assert t.n == n
+
+    def test_power_law_has_heavy_hubs(self):
+        t = power_law_tree(2000, rng=3)
+        deg = np.bincount(t.parent, minlength=2000)
+        deg[t.root] -= 1  # self-parent convention
+        # preferential attachment: the biggest hub dwarfs the uniform-
+        # attachment expectation (max degree ~log n for random shape)
+        assert deg.max() > 50
+        # ...while the diameter stays logarithmic
+        assert t.diameter() < 40
+
+    def test_power_law_reproducible(self):
+        a = power_law_tree(300, rng=11)
+        b = power_law_tree(300, rng=11)
+        assert np.array_equal(a.parent, b.parent)
+
+    @pytest.mark.parametrize("shape", ["grid", "power_law"])
+    def test_known_mst_instance_is_mst(self, shape):
+        g, t = known_mst_instance(shape, 150, extra_m=300, rng=4)
+        tu, tv, _ = g.tree_edges()
+        assert is_spanning_tree(g.n, tu, tv)
+        assert verify_by_recompute(g)

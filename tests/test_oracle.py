@@ -183,3 +183,74 @@ def test_oracle_from_rehydrated_result(tmp_path):
     assert r2.rounds == r.rounds
     assert r2.report.rounds_total == r.report.rounds_total
     assert r2.report.rounds_by_phase == r.report.rounds_by_phase
+
+
+def test_mmap_load_matches_built_oracle(tmp_path):
+    """Uncompressed save + mmap load: zero-copy views, identical answers."""
+    g, _ = known_mst_instance("random", 60, extra_m=120, rng=6)
+    oracle = build_oracle(g)
+    path = tmp_path / "oracle-mmap.npz"
+    oracle.save(path, compressed=False)
+    mapped = SensitivityOracle.load(path, mmap_mode="r")
+    # arrays are genuinely memory-mapped, not copies
+    assert isinstance(mapped.threshold, np.memmap) \
+        or isinstance(mapped.threshold.base, np.memmap)
+    assert not mapped.w.flags.writeable
+    # loaded-vs-built answer identity across every query type
+    rng = np.random.default_rng(4)
+    edges = rng.integers(0, g.m, 500)
+    weights = rng.uniform(0, 2, 500)
+    np.testing.assert_array_equal(oracle.survives_bulk(edges, weights),
+                                  mapped.survives_bulk(edges, weights))
+    np.testing.assert_array_equal(oracle.sensitivity_bulk(edges),
+                                  mapped.sensitivity_bulk(edges))
+    tree_idx = np.flatnonzero(g.tree_mask)
+    nt_idx = np.flatnonzero(~g.tree_mask)
+    np.testing.assert_array_equal(oracle.replacement_edge_bulk(tree_idx),
+                                  mapped.replacement_edge_bulk(tree_idx))
+    np.testing.assert_array_equal(oracle.entry_threshold_bulk(nt_idx),
+                                  mapped.entry_threshold_bulk(nt_idx))
+    for e in [int(tree_idx[0]), int(nt_idx[0])]:
+        assert mapped.sensitivity(e) == oracle.sensitivity(e)
+    # N consumers map the same file (the shard-worker sharing story)
+    other = SensitivityOracle.load(path, mmap_mode="r")
+    np.testing.assert_array_equal(mapped.threshold, other.threshold)
+
+
+def test_mmap_load_of_compressed_snapshot_falls_back(tmp_path):
+    g, _ = known_mst_instance("binary", 40, extra_m=60, rng=7)
+    oracle = build_oracle(g)
+    path = tmp_path / "oracle-z.npz"
+    oracle.save(path)  # compressed (the default)
+    back = SensitivityOracle.load(path, mmap_mode="r")  # eager fallback
+    np.testing.assert_array_equal(back.threshold, oracle.threshold)
+    np.testing.assert_array_equal(back.cover_edge, oracle.cover_edge)
+
+
+def test_reprice_patches_weight_and_slack():
+    g, _ = known_mst_instance("random", 50, extra_m=100, rng=8)
+    oracle = build_oracle(g)
+    nt = int(np.flatnonzero(~g.tree_mask)[0])
+    thr = oracle.entry_threshold(nt)
+    oracle.reprice(nt, thr + 0.5)
+    assert oracle.w[nt] == thr + 0.5
+    assert oracle.sensitivity(nt) == 0.5
+    tree = int(np.flatnonzero(g.tree_mask)[0])
+    mc = float(oracle.threshold[tree])
+    oracle.reprice(tree, mc - 0.25)
+    assert abs(oracle.sensitivity(tree) - 0.25) < 1e-12
+
+
+def test_reprice_thaws_readonly_arrays(tmp_path):
+    g, _ = known_mst_instance("random", 40, extra_m=80, rng=9)
+    oracle = build_oracle(g)
+    path = tmp_path / "oracle-ro.npz"
+    oracle.save(path, compressed=False)
+    mapped = SensitivityOracle.load(path, mmap_mode="r")
+    nt = int(np.flatnonzero(~g.tree_mask)[0])
+    thr = mapped.entry_threshold(nt)
+    mapped.reprice(nt, thr + 1.0)  # copy-on-write, not a crash
+    assert mapped.sensitivity(nt) == 1.0
+    assert mapped.w.flags.writeable
+    # thresholds stay mapped (only w/sens thawed)
+    assert not mapped.threshold.flags.writeable
