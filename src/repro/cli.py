@@ -4,6 +4,8 @@ Commands
 --------
 ``verify``       build (or perturb) an instance and run Theorem 3.1
 ``sensitivity``  run Theorem 4.1 and print the most fragile edges
+``profile``      run a pipeline and print the per-primitive wall-time
+                 and call-count table (where the next hot path is)
 ``pipeline``     print the stage DAG plan (and run it, warm-starting
                  from an artifact cache)
 ``batch``        fan a mixed verify/sensitivity workload over a process pool
@@ -16,6 +18,7 @@ Examples::
     python -m repro verify --shape caterpillar --n 2000 --extra-m 4000
     python -m repro verify --shape random --n 500 --break-mst
     python -m repro sensitivity --shape binary --n 1023 --top 8
+    python -m repro profile --kind sensitivity --n 2000 --engine distributed
     python -m repro pipeline --kind sensitivity --n 500 --cache-dir /tmp/cache
     python -m repro batch --jobs 8 --n 300 --cache-dir /tmp/cache
     python -m repro batch --jobs 12 --format json --out report.json
@@ -77,6 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
     instance_args(sp)
     sp.add_argument("--top", type=int, default=5,
                     help="how many fragile edges to list")
+
+    sp = sub.add_parser(
+        "profile",
+        help="per-primitive wall-time/call profile of a pipeline run",
+    )
+    instance_args(sp)
+    sp.add_argument("--kind", choices=["verify", "sensitivity"],
+                    default="sensitivity")
+    sp.add_argument("--break-mst", action="store_true",
+                    help="perturb one non-tree edge below its path max")
 
     sp = sub.add_parser(
         "pipeline",
@@ -213,6 +226,53 @@ def cmd_sensitivity(args, out) -> int:
                      round(float(ts[k]), 4)))
     out.write("most fragile tree edges:\n")
     out.write(render_table(["u", "v", "weight", "slack"], rows))
+    return 0
+
+
+def cmd_profile(args, out) -> int:
+    import time
+
+    from .core.verification import distributed_hint, verify_mst
+    from .mpc import make_runtime
+
+    g = _make_instance(args)
+    if args.break_mst:
+        g = perturb_break_mst(g, rng=args.seed + 1)
+    rt = make_runtime(args.engine, _config(args),
+                      total_words_hint=distributed_hint(g))
+    t0 = time.perf_counter()
+    if args.kind == "sensitivity":
+        from .core.sensitivity import mst_sensitivity
+
+        r = mst_sensitivity(g, runtime=rt, oracle_labels=args.oracle_labels)
+        verdict = f"rounds={r.rounds} (core {r.core_rounds})"
+    else:
+        r = verify_mst(g, runtime=rt, oracle_labels=args.oracle_labels)
+        verdict = f"is_mst={r.is_mst} rounds={r.rounds}"
+    total = time.perf_counter() - t0
+    rep = rt.report()
+    out.write(f"instance: shape={args.shape} n={g.n} m={g.m} "
+              f"engine={args.engine}\n")
+    out.write(f"{args.kind}: {verdict}, wall {total:.3f}s")
+    if args.engine == "distributed":
+        out.write(f", transport rounds {rep.transport_rounds}")
+    out.write("\n\nper-primitive wall attribution (slowest first):\n")
+    profile = rt.tracker.wall_profile()
+    attributed = sum(w for _, _, w in profile)
+    rows = []
+    for prim, calls, wall in profile:
+        rows.append((
+            prim, calls, round(wall, 4),
+            f"{100.0 * wall / total:.1f}%" if total else "-",
+            round(1e3 * wall / calls, 3),
+        ))
+    rows.append(("(outside primitives)", "-",
+                 round(max(total - attributed, 0.0), 4),
+                 f"{100.0 * max(total - attributed, 0.0) / total:.1f}%"
+                 if total else "-", "-"))
+    out.write(render_table(
+        ["primitive", "calls", "wall (s)", "of total", "ms/call"], rows
+    ))
     return 0
 
 
@@ -430,6 +490,7 @@ def main(argv=None, out=None) -> int:
         return {
             "verify": cmd_verify,
             "sensitivity": cmd_sensitivity,
+            "profile": cmd_profile,
             "pipeline": cmd_pipeline,
             "batch": cmd_batch,
             "serve": cmd_serve,

@@ -13,7 +13,7 @@ from .config import MPCConfig
 from .cost import CostModel, CostReport, CostTracker
 from .distributed import DistributedRuntime
 from .local import LocalRuntime
-from .machines import Fabric
+from .machines import Fabric, FleetState
 from .runtime import NEG_INF, POS_INF, Runtime, float_sort_key, pack_columns
 from .table import Table
 
@@ -25,6 +25,7 @@ __all__ = [
     "DistributedRuntime",
     "LocalRuntime",
     "Fabric",
+    "FleetState",
     "Runtime",
     "Table",
     "pack_columns",

@@ -196,6 +196,8 @@ class CostTracker:
         self._peak_global = 0
         self._peak_machine = 0
         self._transport_rounds = 0
+        self._wall_by_primitive: Dict[str, float] = {}
+        self._calls_by_primitive: Counter = Counter()
 
     # -- phases ---------------------------------------------------------------
 
@@ -227,6 +229,28 @@ class CostTracker:
     def charge_transport_round(self, count: int = 1) -> None:
         """Record actual message-exchange rounds (distributed engine only)."""
         self._transport_rounds += count
+
+    # -- wall attribution (``python -m repro profile``) ---------------------------
+
+    def record_wall(self, primitive: str, seconds: float) -> None:
+        """Attribute measured wall time (one call) to a primitive."""
+        self._wall_by_primitive[primitive] = (
+            self._wall_by_primitive.get(primitive, 0.0) + seconds
+        )
+        self._calls_by_primitive[primitive] += 1
+
+    def wall_profile(self) -> List[Tuple[str, int, float]]:
+        """``(primitive, calls, wall_seconds)`` rows, slowest first.
+
+        Deliberately *not* part of :class:`CostReport`: reports must stay
+        bit-identical between cold and warm-started pipeline runs, and
+        wall time is the one quantity that cannot be replayed.
+        """
+        return sorted(
+            ((p, int(self._calls_by_primitive[p]), w)
+             for p, w in self._wall_by_primitive.items()),
+            key=lambda r: r[2], reverse=True,
+        )
 
     # -- stage deltas (pipeline warm-start) --------------------------------------
 

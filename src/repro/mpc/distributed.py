@@ -1,10 +1,10 @@
-"""Message-level MPC engine.
+"""Message-level MPC engine on the columnar fabric.
 
 Every runtime primitive is realised as an explicit multi-round protocol
 over the :class:`~repro.mpc.machines.Fabric`: records are block-
-partitioned into shards, machines exchange real packets, and the
-per-machine memory cap ``s`` is enforced on every round. The protocols
-are the classical [GSZ11] constructions:
+partitioned into shards, machines exchange real (now columnar) rounds,
+and the per-machine memory cap ``s`` is enforced on every round. The
+protocols are the classical [GSZ11] constructions:
 
 * ``sort``   — sample sort (local sort, sampled splitters on machine 0,
   splitter broadcast, bucket routing with tie-spreading, exact block
@@ -15,6 +15,17 @@ are the classical [GSZ11] constructions:
 * ``reduce_by_key`` — sort, scan, boundary exchange, compaction;
 * ``filter``/``scalar`` — compaction / aggregation trees.
 
+Rather than materialising ``m`` per-machine ``Table`` shards and packet
+lists, the engine keeps the fleet as whole struct-of-arrays columns plus
+a machine-id column (machine-major, so shard ``j`` is a contiguous
+block) and executes each protocol phase with whole-fleet NumPy kernels:
+bulk routing is one :meth:`Fabric.route` permutation, constant-size
+control traffic (counts, offsets, summaries, carries) goes through
+:meth:`Fabric.control` with exact per-machine word vectors. Round
+structure, capacity enforcement and delivery order are identical to a
+packet-by-packet simulation — only the interpreter-level per-packet work
+is gone (see DESIGN.md §2.4).
+
 Outputs are bit-identical to :class:`~repro.mpc.local.LocalRuntime`
 (tests assert this), and model rounds are charged identically; actual
 transport rounds are additionally counted by the fabric.
@@ -22,21 +33,19 @@ transport rounds are additionally counted by the fabric.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import CapacityError, ProtocolError, ValidationError
 from .config import MPCConfig
 from .kernels import (
-    forward_fill,
     op_combine,
     op_identity,
-    segment_starts,
     segmented_scan,
 )
-from .local import _default_fill
-from .machines import Fabric
+from .local import _default_fill, _sorted_order
+from .machines import Fabric, FleetState
 from .runtime import Runtime, pack_columns, pack_pair
 from .table import Table
 
@@ -62,94 +71,96 @@ class DistributedRuntime(Runtime):
     def _rows_cap(self, ncols: int) -> int:
         return max(1, self.s // (2 * max(1, ncols)))
 
-    def _scatter(self, table: Table) -> Tuple[List[Table], int]:
-        cap = self._rows_cap(len(table.columns))
-        need = -(-len(table) // cap) if len(table) else 0
-        if need > self.m:
-            raise CapacityError(self.m - 1, len(table) * len(table.columns),
-                                self.m * cap * len(table.columns), what="hold input of")
-        shards = []
-        for j in range(self.m):
-            lo, hi = j * cap, min((j + 1) * cap, len(table))
-            if lo >= len(table):
-                shards.append(table.head(0))
-            else:
-                shards.append(table.take(np.arange(lo, hi)))
-            self.tracker.observe_machine_words(shards[-1].words)
-        return shards, cap
+    def _scatter(self, n: int, ncols: int) -> Tuple[int, int]:
+        """Block-partition ``n`` rows of ``ncols``-word records over the fleet.
 
-    @staticmethod
-    def _gather(shards: List[Table]) -> Table:
-        return Table.concat(shards)
+        Machine ``j`` holds rows ``[j*cap, (j+1)*cap)`` — the machine-id
+        column is implicit in the row position, so scattering costs no
+        data movement in the simulation (the input is modelled as
+        arriving pre-partitioned). Returns ``(cap, need)`` where ``need``
+        is the number of non-empty shards.
+        """
+        cap = self._rows_cap(ncols)
+        need = -(-n // cap) if n else 0
+        if need > self.m:
+            raise CapacityError(self.m - 1, n * ncols, self.m * cap * ncols,
+                                what="hold input of")
+        self.tracker.observe_machine_words(min(cap, n) * ncols)
+        return cap, need
+
+    def _block_counts(self, n: int, cap: int) -> np.ndarray:
+        """Per-machine row counts of the exact block partition."""
+        counts = np.zeros(self.m, dtype=np.int64)
+        if n:
+            need = -(-n // cap)
+            counts[:need] = cap
+            counts[need - 1] = n - (need - 1) * cap
+        return counts
+
+    def _block_mid(self, n: int, cap: int) -> np.ndarray:
+        return np.arange(n, dtype=np.int64) // cap
 
     def _broadcast_tree(self, src: int, table: Table) -> List[Table]:
         """Deliver ``table`` to every machine via an f-ary fan-out tree.
 
         Per round each informed machine forwards at most
-        ``f = s // words`` copies, so no machine exceeds its send cap.
+        ``f = s // words`` copies, so no machine exceeds its send cap;
+        the number of informed machines grows by ``min(f * informed,
+        remaining)`` per round. The fabric charges each fan-out round
+        (words moved = newly informed x table words).
         """
         m = self.m
         w = max(1, table.words)
         if 2 * w > self.s:
             raise CapacityError(src, 2 * w, self.s, what="broadcast")
         f = max(1, self.s // w)
-        delivered: dict[int, Table] = {src: table}
-        while len(delivered) < m:
-            outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
-            targets = [j for j in range(m) if j not in delivered]
-            ti = 0
-            for sender in sorted(delivered):
-                for _ in range(f):
-                    if ti >= len(targets):
-                        break
-                    outbox[sender].append((targets[ti], table))
-                    ti += 1
-                if ti >= len(targets):
-                    break
-            inbox = self.fabric.exchange(outbox)
-            for j in range(m):
-                if j not in delivered and inbox[j]:
-                    delivered[j] = inbox[j][0]
-        return [delivered[j] for j in range(m)]
+        # uninformed machines are informed in ascending id order; senders
+        # (sorted, each forwarding up to f copies) stay under the send cap
+        # by construction of f — the fabric still checks every round
+        others = np.setdiff1d(np.arange(m, dtype=np.int64), [src])
+        informed = np.array([src], dtype=np.int64)
+        ti = 0
+        while ti < len(others):
+            newly = min(f * len(informed), len(others) - ti)
+            send = np.zeros(m, dtype=np.int64)
+            recv = np.zeros(m, dtype=np.int64)
+            nfull, rem = divmod(newly, f)
+            senders = np.sort(informed)
+            send[senders[:nfull]] = f * w
+            if rem:
+                send[senders[nfull]] = rem * w
+            recv[others[ti:ti + newly]] = w
+            self.fabric.control(send, recv)
+            informed = np.concatenate([informed, others[ti:ti + newly]])
+            ti += newly
+        return [table] * m
 
-    def _rebalance(self, shards: List[Table], cap: int) -> List[Table]:
-        """Exactly block-redistribute shard rows, preserving order (3 rounds)."""
+    def _rebalance(self, counts: np.ndarray, ncols: int, cap: int) -> None:
+        """Exactly block-redistribute shard rows, preserving order (3 rounds).
+
+        On the columnar fleet the rows are already held in global
+        (machine-major) order, so the redistribution itself is a no-op
+        permutation; the three protocol rounds — counts to machine 0,
+        offsets back out, rows to their block positions (each row
+        shipped with its global-position word ``__p``) — are charged
+        with their exact per-machine word vectors.
+        """
         m = self.m
-        # round 1: counts to machine 0
-        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
-        for j, sh in enumerate(shards):
-            outbox[j].append((0, Table(__j=[j], __c=[len(sh)])))
-        inbox = self.fabric.exchange(outbox)
-        counts = np.zeros(m, dtype=np.int64)
-        for t in inbox[0]:
-            counts[t.col("__j")[0]] = t.col("__c")[0]
-        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
-        # round 2: offsets back out
-        outbox = [[] for _ in range(m)]
-        for j in range(m):
-            outbox[0].append((j, Table(__o=[offsets[j]])))
-        inbox = self.fabric.exchange(outbox)
-        # round 3: route rows to block positions
-        outbox = [[] for _ in range(m)]
-        for j, sh in enumerate(shards):
-            if len(sh) == 0:
-                continue
-            off = int(inbox[j][0].col("__o")[0])
-            pos = off + np.arange(len(sh), dtype=np.int64)
-            dst = pos // cap
-            aug = sh.with_cols(__p=pos)
-            for d in np.unique(dst):
-                outbox[j].append((int(d), aug.mask(dst == d)))
-        inbox = self.fabric.exchange(outbox)
-        out = []
-        for j in range(m):
-            if inbox[j]:
-                merged = Table.concat(inbox[j])
-                merged = merged.take(np.argsort(merged.col("__p"), kind="stable"))
-                out.append(merged.drop("__p"))
-            else:
-                out.append(shards[j].head(0))
-        return out
+        n = int(counts.sum())
+        # round 1: counts to machine 0 (every machine reports, 2 words each)
+        send = np.full(m, 2, dtype=np.int64)
+        recv = np.zeros(m, dtype=np.int64)
+        recv[0] = 2 * m
+        self.fabric.control(send, recv)
+        # round 2: offsets back out (1 word to each machine)
+        send = np.zeros(m, dtype=np.int64)
+        send[0] = m
+        recv = np.ones(m, dtype=np.int64)
+        self.fabric.control(send, recv)
+        # round 3: route rows to block positions (records carry __p)
+        send = counts * (ncols + 1)
+        recv = self._block_counts(n, cap) * (ncols + 1)
+        self.fabric.control(send, recv)
 
     # ------------------------------------------------------------------ sort
 
@@ -158,29 +169,34 @@ class DistributedRuntime(Runtime):
         n = len(table)
         if n <= 1:
             return table
-        aug = table.with_cols(__k=key, __g=np.arange(n, dtype=np.int64))
-        shards, cap = self._scatter(aug)
         m = self.m
-
-        def _local_sort(sh: Table) -> Table:
-            if len(sh) == 0:
-                return sh
-            return sh.take(np.lexsort((sh.col("__g"), sh.col("__k"))))
-
-        shards = [_local_sort(sh) for sh in shards]
-        # sample round
+        ncols = len(dict.fromkeys((*table.columns, "__k", "__g")))
+        cap, need = self._scatter(n, ncols)
+        k = np.asarray(key)
+        g = np.arange(n, dtype=np.int64)
+        # local sort inside each shard by (key, original order): shards are
+        # contiguous blocks, so one machine-major lexsort does all of them
+        mid = self._block_mid(n, cap)
+        perm = np.lexsort((g, k, mid))
+        k, g = k[perm], g[perm]
+        counts = self._block_counts(n, cap)
+        offs = np.concatenate(([0], np.cumsum(counts)))
+        # sample round: q evenly spaced local keys from every shard to 0
         q = max(1, min(self.s // max(1, m), 8 * int(np.ceil(np.log2(m + 1)))))
-        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
-        for j, sh in enumerate(shards):
-            if len(sh) == 0:
-                continue
-            take = min(q, len(sh))
-            idxs = np.linspace(0, len(sh) - 1, num=take).astype(np.int64)
-            outbox[j].append((0, Table(__k=sh.col("__k")[idxs])))
-        inbox = self.fabric.exchange(outbox)
+        send = np.zeros(m, dtype=np.int64)
+        sample_parts = []
+        for j in range(need):
+            lj = int(counts[j])
+            take = min(q, lj)
+            idxs = offs[j] + np.linspace(0, lj - 1, num=take).astype(np.int64)
+            sample_parts.append(k[idxs])
+            send[j] = take
+        recv = np.zeros(m, dtype=np.int64)
+        recv[0] = int(send.sum())
+        self.fabric.control(send, recv)
         samples = (
-            np.sort(np.concatenate([t.col("__k") for t in inbox[0]]))
-            if inbox[0]
+            np.sort(np.concatenate(sample_parts))
+            if sample_parts
             else np.empty(0, dtype=np.int64)
         )
         if len(samples) and m > 1:
@@ -189,26 +205,19 @@ class DistributedRuntime(Runtime):
         else:
             splitters = np.empty(0, dtype=np.int64)
         # splitter broadcast (fan-out tree)
-        sp_everywhere = self._broadcast_tree(0, Table(__s=splitters))
+        self._broadcast_tree(0, Table(__s=splitters))
         # bucket routing (monotone tie-spreading keeps total order)
-        outbox = [[] for _ in range(m)]
-        for j, sh in enumerate(shards):
-            if len(sh) == 0:
-                continue
-            sp = sp_everywhere[j].col("__s")
-            k, g = sh.col("__k"), sh.col("__g")
-            lo = np.searchsorted(sp, k, side="left")
-            hi = np.searchsorted(sp, k, side="right")
-            bucket = lo + (g * (hi - lo + 1)) // n
-            for d in np.unique(bucket):
-                outbox[j].append((int(d), sh.mask(bucket == d)))
-        inbox = self.fabric.exchange(outbox)
-        shards = [
-            _local_sort(Table.concat(parts)) if parts else aug.head(0)
-            for parts in inbox
-        ]
-        shards = self._rebalance(shards, cap)
-        return self._gather(shards).drop("__k", "__g")
+        lo = np.searchsorted(splitters, k, side="left")
+        hi = np.searchsorted(splitters, k, side="right")
+        bucket = lo + (g * (hi - lo + 1)) // n
+        state = self.fabric.route(
+            FleetState({"k": k, "g": g, "perm": perm}, mid), bucket, ncols
+        )
+        # local sort of the received buckets
+        order = np.lexsort((state.cols["g"], state.cols["k"], state.mid))
+        perm = state.cols["perm"][order]
+        self._rebalance(np.bincount(state.mid, minlength=m), ncols, cap)
+        return table.take(perm)
 
     def sort(self, table: Table, by: Sequence[str]) -> Table:
         key = pack_columns(table, by)
@@ -227,40 +236,42 @@ class DistributedRuntime(Runtime):
         n = len(values)
         if n == 0:
             return values.copy()
-        tab = Table(
-            __k=keys if keys is not None else np.zeros(n, dtype=np.int64),
-            __v=values,
-        )
-        shards, _ = self._scatter(tab)
         m = self.m
-        ident = op_identity(op, values.dtype)
-        # local inclusive scans + summaries to machine 0
-        local_inc: List[np.ndarray] = []
-        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
-        for j, sh in enumerate(shards):
-            if len(sh) == 0:
-                local_inc.append(np.empty(0, dtype=values.dtype))
-                outbox[j].append((0, Table(__j=[j], __e=[1], __fk=[0], __lk=[0],
-                                           __tail=[0.0], __single=[0])))
-                continue
-            k = sh.col("__k")
-            starts = segment_starts(k, len(sh))
-            inc = segmented_scan(sh.col("__v"), op, starts, exclusive=False)
-            local_inc.append(inc)
-            outbox[j].append(
-                (0, Table(
-                    __j=[j], __e=[0], __fk=[int(k[0])], __lk=[int(k[-1])],
-                    __tail=[float(inc[-1])],
-                    __single=[int(starts.sum() == 1)],
-                ))
-            )
-        inbox = self.fabric.exchange(outbox)
+        cap, need = self._scatter(n, 2)  # records are (__k, __v) pairs
+        counts = self._block_counts(n, cap)
+        offs = np.concatenate(([0], np.cumsum(counts)))
+        firsts = offs[:need]
+        k = keys if keys is not None else np.zeros(n, dtype=np.int64)
+        # segment starts, with every machine boundary restarting the local scan
+        starts = np.zeros(n, dtype=bool)
+        starts[0] = True
+        starts[1:] = k[1:] != k[:-1]
+        starts[firsts] = True
+        if op == "sum" and values.dtype.kind == "f":
+            # float cumsums must accumulate shard-locally to reproduce the
+            # per-machine rounding of a real deployment bit-for-bit
+            inc = np.empty_like(values)
+            for j in range(need):
+                lo, hi = int(offs[j]), int(offs[j + 1])
+                inc[lo:hi] = segmented_scan(values[lo:hi], op, starts[lo:hi])
+        else:
+            inc = segmented_scan(values, op, starts)
+        # summaries to machine 0: (__j, __e, __fk, __lk, __tail, __single)
+        lasts = offs[1:need + 1] - 1
+        nseg = (np.add.reduceat(starts.astype(np.int64), firsts)
+                if need else np.empty(0, dtype=np.int64))
         info = {}
-        for t in inbox[0]:
-            info[int(t.col("__j")[0])] = (
-                int(t.col("__e")[0]), int(t.col("__fk")[0]), int(t.col("__lk")[0]),
-                float(t.col("__tail")[0]), int(t.col("__single")[0]),
-            )
+        for j in range(m):
+            if j >= need:
+                info[j] = (1, 0, 0, 0.0, 0)
+            else:
+                info[j] = (0, int(k[firsts[j]]), int(k[lasts[j]]),
+                           float(inc[lasts[j]]), int(nseg[j] == 1))
+        send = np.full(m, 6, dtype=np.int64)
+        recv = np.zeros(m, dtype=np.int64)
+        recv[0] = 6 * m
+        self.fabric.control(send, recv)
+        # machine 0 resolves the carry chain
         carries = {}
         for j in range(m):
             e, fk, lk, tail, single = info[j]
@@ -278,43 +289,41 @@ class DistributedRuntime(Runtime):
                     break
             if carry is not None:
                 carries[j] = carry
-        # send carries
-        outbox = [[] for _ in range(m)]
+        # send carries (1 word each)
+        send = np.zeros(m, dtype=np.int64)
+        recv = np.zeros(m, dtype=np.int64)
+        send[0] = len(carries)
+        for j in carries:
+            recv[j] = 1
+        self.fabric.control(send, recv)
+        # apply carries to each leading segment; derive exclusive locally
+        applied = {}
         for j, c in carries.items():
-            outbox[0].append((j, Table(__c=[float(c)])))
-        inbox = self.fabric.exchange(outbox)
-        # apply carries; derive exclusive locally
-        out_parts: List[np.ndarray] = []
-        for j, sh in enumerate(shards):
-            inc = local_inc[j]
-            if len(sh) == 0:
-                out_parts.append(inc)
-                continue
-            k = sh.col("__k")
-            starts = segment_starts(k, len(sh))
-            if inbox[j]:
-                c = inbox[j][0].col("__c")[0]
-                if values.dtype.kind != "f":
-                    c = int(c)
-                first_run = np.cumsum(starts) == 1  # rows of the leading segment
-                upd = np.array(
-                    [op_combine(op, c, v) for v in inc[first_run]],
-                    dtype=inc.dtype,
-                ) if first_run.any() else inc[:0]
-                inc = inc.copy()
-                inc[first_run] = upd
+            if values.dtype.kind != "f":
+                c = int(c)
+            applied[j] = c
+            lo, hi = int(offs[j]), int(offs[j + 1])
+            rel = np.flatnonzero(starts[lo + 1:hi])
+            end = lo + 1 + int(rel[0]) if len(rel) else hi
+            seg = inc[lo:end]
+            if op == "sum":
+                upd = c + seg
+            elif op == "max":
+                upd = np.where(c >= seg, c, seg)
             else:
-                c = None
-            if exclusive:
-                exc = np.empty_like(inc, dtype=np.float64 if isinstance(ident, float) else inc.dtype)
-                exc[1:] = inc[:-1]
-                exc[starts] = ident
-                if c is not None:
-                    exc[0] = c
-                out_parts.append(exc)
-            else:
-                out_parts.append(inc)
-        return np.concatenate(out_parts)
+                upd = np.where(c <= seg, c, seg)
+            inc[lo:end] = upd.astype(inc.dtype, copy=False)
+        if not exclusive:
+            return inc
+        ident = op_identity(op, values.dtype)
+        exc = np.empty_like(
+            inc, dtype=np.float64 if isinstance(ident, float) else inc.dtype
+        )
+        exc[1:] = inc[:-1]
+        exc[starts] = ident
+        for j, c in applied.items():
+            exc[int(offs[j])] = c
+        return exc
 
     def scan(
         self,
@@ -332,62 +341,55 @@ class DistributedRuntime(Runtime):
 
     # ------------------------------------------------------------------ joins
 
-    def _copy_down(self, shards: List[Table], cols: Sequence[str]) -> List[Table]:
-        """Distributed forward-fill of ``cols`` where __val marks valid rows."""
+    def _copy_down(
+        self, table: Table, cols: Sequence[str], cap: int
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Distributed forward-fill of ``cols`` where ``__val`` marks valid rows.
+
+        Round 1: every machine forward-fills locally and reports its last
+        valid row (or ``has=0``) to machine 0; round 2: machine 0 sends
+        each machine the nearest *preceding* valid row, which fills the
+        machine's still-invalid leading prefix. The composition equals a
+        plain fleet-wide forward fill, so that is what the columnar
+        engine computes — the two rounds are charged with the exact
+        per-machine payload words.
+        """
+        n = len(table)
         m = self.m
-        filled: List[Table] = []
-        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
-        for j, sh in enumerate(shards):
-            if len(sh) == 0:
-                filled.append(sh)
-                outbox[j].append((0, Table(__j=[j], __has=[0])))
-                continue
-            valid = sh.col("__val").astype(bool)
-            new_cols = {}
-            for c in cols:
-                fv, ok = forward_fill(sh.col(c), valid)
-                new_cols[c] = fv
-            _, ok = forward_fill(sh.col(cols[0]), valid)
-            filled.append(sh.with_cols(**new_cols, __val=ok.astype(np.int64)))
-            if valid.any():
-                last = int(np.flatnonzero(valid)[-1])
-                payload = {c: [sh.col(c)[last]] for c in cols}
-                outbox[j].append((0, Table(__j=[j], __has=[1], **payload)))
-            else:
-                outbox[j].append((0, Table(__j=[j], __has=[0])))
-        inbox = self.fabric.exchange(outbox)
-        info = {}
-        for t in inbox[0]:
-            j = int(t.col("__j")[0])
-            info[j] = t if int(t.col("__has")[0]) else None
-        # nearest preceding machine with a valid row
-        outbox = [[] for _ in range(m)]
-        latest = None
-        for j in range(m):
-            if latest is not None:
-                outbox[0].append((j, latest))
-            if info.get(j) is not None:
-                latest = info[j]
-        inbox = self.fabric.exchange(outbox)
-        out = []
-        for j, sh in enumerate(filled):
-            if len(sh) == 0 or not inbox[j]:
-                out.append(sh)
-                continue
-            carry = inbox[j][0]
-            valid = sh.col("__val").astype(bool)
-            lead = ~np.logical_or.accumulate(valid)  # prefix of still-invalid rows
-            if lead.any():
-                new_cols = {}
-                for c in cols:
-                    col = sh.col(c).copy()
-                    col[lead] = carry.col(c)[0]
-                    new_cols[c] = col
-                v = sh.col("__val").copy()
-                v[lead] = 1
-                sh = sh.with_cols(**new_cols, __val=v)
-            out.append(sh)
-        return out
+        counts = self._block_counts(n, cap)
+        need = int(np.count_nonzero(counts))
+        firsts = np.concatenate(([0], np.cumsum(counts)))[:need]
+        valid = table.col("__val").astype(bool)
+        F = len(cols)
+        hasj = np.zeros(m, dtype=bool)
+        if need:
+            hasj[:need] = np.logical_or.reduceat(valid, firsts)
+        # round 1: last valid row (2 + F words) or a has=0 marker (2 words)
+        send = np.where(hasj, 2 + F, 2).astype(np.int64)
+        recv = np.zeros(m, dtype=np.int64)
+        recv[0] = int(send.sum())
+        self.fabric.control(send, recv)
+        # round 2: nearest preceding valid row to every later machine
+        send = np.zeros(m, dtype=np.int64)
+        recv = np.zeros(m, dtype=np.int64)
+        with_valid = np.flatnonzero(hasj)
+        if len(with_valid):
+            fv = int(with_valid[0])
+            send[0] = (m - fv - 1) * (2 + F)
+            recv[fv + 1:] = 2 + F
+        self.fabric.control(send, recv)
+        # the rounds above realise exactly a fleet-wide forward fill
+        idx = np.where(valid, np.arange(n, dtype=np.int64), -1)
+        idx = np.maximum.accumulate(idx)
+        ok = idx >= 0
+        gather = np.maximum(idx, 0)
+        filled = {}
+        for c in cols:
+            v = table.col(c)
+            out = v.copy()
+            out[ok] = v[gather[ok]]
+            filled[c] = out
+        return filled, ok
 
     def _merge_join(
         self,
@@ -428,9 +430,9 @@ class DistributedRuntime(Runtime):
         combo = Table(combo_cols)
         skey = pack_columns(combo, ("__jk", "__t", "__q"))
         scombo = self._sort_impl(combo, skey)
-        shards, _ = self._scatter(scombo)
-        shards = self._copy_down(shards, fill_cols)
-        merged = self._gather(shards)
+        cap, _ = self._scatter(len(scombo), len(scombo.columns))
+        filled, ok = self._copy_down(scombo, fill_cols, cap)
+        merged = scombo.with_cols(**filled, __val=ok.astype(np.int64))
         is_q = merged.col("__t") == 1
         qrows = merged.mask(is_q)
         hit = qrows.col("__val").astype(bool)
@@ -469,7 +471,8 @@ class DistributedRuntime(Runtime):
     ) -> Table:
         qk, dk = pack_pair(queries, qkey, data, dkey)
         if check_unique and len(dk) > 1:
-            sdk = np.sort(dk)
+            order = _sorted_order(dk)
+            sdk = dk if order is None else dk[order]
             if np.any(sdk[1:] == sdk[:-1]):
                 raise ProtocolError("lookup data has duplicate keys")
         self.tracker.charge("lookup", queries.words + data.words)
@@ -516,34 +519,27 @@ class DistributedRuntime(Runtime):
         results = {}
         for out_name, (src_name, op) in aggs.items():
             results[out_name] = self._scan_impl(sk, saug.col(src_name), op, False)
-        # boundary exchange: last row of each key group holds the aggregate
-        shards, cap = self._scatter(saug)
+        # boundary exchange: each machine ships its first key to its
+        # predecessor so the last row of every key group can be found
         m = self.m
-        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
-        for j, sh in enumerate(shards):
-            if len(sh) and j > 0:
-                outbox[j].append((j - 1, Table(__nk=[int(sh.col("__rk")[0])])))
-        inbox = self.fabric.exchange(outbox)
-        keep = np.zeros(n, dtype=bool)
-        offset = 0
-        for j, sh in enumerate(shards):
-            ln = len(sh)
-            if ln == 0:
-                continue
-            k = sh.col("__rk")
-            last = np.zeros(ln, dtype=bool)
-            last[:-1] = k[:-1] != k[1:]
-            nxt = None
-            for t in inbox[j]:
-                nxt = int(t.col("__nk")[0])
-            last[-1] = nxt is None or nxt != int(k[-1])
-            keep[offset: offset + ln] = last
-            offset += ln
+        cap, nneed = self._scatter(n, len(saug.columns))
+        send = np.zeros(m, dtype=np.int64)
+        recv = np.zeros(m, dtype=np.int64)
+        if nneed > 1:
+            send[1:nneed] = 1
+            recv[:nneed - 1] = 1
+        self.fabric.control(send, recv)
+        # shards are contiguous, so a machine-last row keeps iff its key
+        # differs from the next machine's first key — i.e. the next row
+        keep = np.empty(n, dtype=bool)
+        keep[:-1] = sk[:-1] != sk[1:]
+        keep[-1] = True
         out = {c: saug.col(c)[keep] for c in by}
         for out_name in aggs:
             out[out_name] = results[out_name][keep]
         # charge a physical compaction round
-        self.fabric.exchange([[] for _ in range(m)])
+        zeros = np.zeros(m, dtype=np.int64)
+        self.fabric.control(zeros, zeros)
         return Table(out)
 
     # ------------------------------------------------------------------ misc
@@ -553,12 +549,17 @@ class DistributedRuntime(Runtime):
         mask = np.asarray(mask, dtype=bool)
         if len(mask) != len(table):
             raise ValidationError("mask length mismatch")
-        if len(table) == 0:
+        n = len(table)
+        if n == 0:
             return table
-        shards, cap = self._scatter(table.with_cols(__m=mask.astype(np.int64)))
-        shards = [sh.mask(sh.col("__m").astype(bool)).drop("__m") for sh in shards]
-        shards = self._rebalance(shards, cap)
-        return self._gather(shards)
+        ncols_in = len(dict.fromkeys((*table.columns, "__m")))
+        cap, _ = self._scatter(n, ncols_in)
+        # compaction is shard-local and free; the survivors then block-
+        # rebalance (3 rounds) carrying their original columns
+        mid = self._block_mid(n, cap)
+        kept = np.bincount(mid[mask], minlength=self.m)
+        self._rebalance(kept, len(table.columns), cap)
+        return table.mask(mask)
 
     def scalar(self, table: Table, value_col: str, op: str):
         self._check_op(op)
@@ -566,20 +567,24 @@ class DistributedRuntime(Runtime):
         self.tracker.charge("scalar", table.words)
         if len(vals) == 0:
             return op_identity(op, vals.dtype)
-        shards, _ = self._scatter(Table(__v=vals))
+        n = len(vals)
         m = self.m
-        outbox: List[List[Tuple[int, Table]]] = [[] for _ in range(m)]
-        for j, sh in enumerate(shards):
-            if len(sh) == 0:
-                continue
-            v = sh.col("__v")
-            part = v.sum() if op == "sum" else (v.max() if op == "max" else v.min())
-            outbox[j].append((0, Table(__v=[part])))
-        inbox = self.fabric.exchange(outbox)
-        parts = np.array([t.col("__v")[0] for t in inbox[0]])
+        cap, need = self._scatter(n, 1)
+        offs = np.concatenate(([0], np.cumsum(self._block_counts(n, cap))))
+        parts = []
+        for j in range(need):
+            v = vals[offs[j]:offs[j + 1]]
+            parts.append(v.sum() if op == "sum" else (v.max() if op == "max" else v.min()))
+        send = np.zeros(m, dtype=np.int64)
+        send[:need] = 1
+        recv = np.zeros(m, dtype=np.int64)
+        recv[0] = need
+        self.fabric.control(send, recv)
+        parts = np.array(parts)
         total = parts.sum() if op == "sum" else (parts.max() if op == "max" else parts.min())
         # broadcast round (physical, result conceptually known everywhere)
-        self.fabric.exchange([[] for _ in range(m)])
+        zeros = np.zeros(m, dtype=np.int64)
+        self.fabric.control(zeros, zeros)
         if vals.dtype.kind != "f":
             return int(total)
         return float(total)

@@ -30,6 +30,20 @@ def _default_fill(n: int, src: np.ndarray, default) -> np.ndarray:
     return np.full(n, int(default), dtype=src.dtype)
 
 
+def _sorted_order(key: np.ndarray) -> np.ndarray | None:
+    """Stable sort order of ``key``, or ``None`` when already sorted.
+
+    A stable argsort of a non-decreasing array is the identity, so
+    callers can skip both the argsort and the gathers it would feed.
+    This is the common case for join/reduce inputs that were just
+    produced by ``sort``/``reduce_by_key`` (e.g. every join inside
+    ``expand_join``), where re-sorting would silently double the work.
+    """
+    if len(key) > 1 and np.any(key[:-1] > key[1:]):
+        return np.argsort(key, kind="stable")
+    return None
+
+
 class LocalRuntime(Runtime):
     """Single-process engine: NumPy semantics + MPC cost model."""
 
@@ -69,8 +83,8 @@ class LocalRuntime(Runtime):
     ) -> Table:
         qk, dk = pack_pair(queries, qkey, data, dkey)
         self.tracker.charge("lookup", queries.words + data.words)
-        order = np.argsort(dk, kind="stable")
-        dks = dk[order]
+        order = _sorted_order(dk)
+        dks = dk if order is None else dk[order]
         if check_unique and len(dks) > 1 and np.any(dks[1:] == dks[:-1]):
             dup = dks[1:][dks[1:] == dks[:-1]][0]
             raise ProtocolError(f"lookup data has duplicate key {int(dup)}")
@@ -89,7 +103,9 @@ class LocalRuntime(Runtime):
             raise ProtocolError(f"lookup misses with no default (keys {missing})")
         out_cols = {}
         for out_name, src_name in payload.items():
-            src = data.col(src_name)[order]
+            src = data.col(src_name)
+            if order is not None:
+                src = src[order]
             if hit.all():
                 out_cols[out_name] = src[pos] if len(src) else np.empty(0, src.dtype)
             else:
@@ -113,8 +129,8 @@ class LocalRuntime(Runtime):
         if qk.dtype.kind != "i" or dk.dtype.kind != "i":
             raise ValidationError("predecessor keys must be integer columns")
         self.tracker.charge("predecessor", queries.words + data.words)
-        order = np.argsort(dk, kind="stable")
-        dks = dk[order]
+        order = _sorted_order(dk)
+        dks = dk if order is None else dk[order]
         nq = len(qk)
         if len(dks) == 0:
             hit = np.zeros(nq, dtype=bool)
@@ -125,7 +141,9 @@ class LocalRuntime(Runtime):
             pos = np.maximum(pos, 0)
         out_cols = {}
         for out_name, src_name in payload.items():
-            src = data.col(src_name)[order]
+            src = data.col(src_name)
+            if order is not None:
+                src = src[order]
             col = _default_fill(nq, src, default[out_name])
             if len(src):
                 col[hit] = src[pos[hit]].astype(col.dtype, copy=False)
@@ -142,9 +160,12 @@ class LocalRuntime(Runtime):
             self._check_op(op)
         key = pack_columns(table, by)
         self.tracker.charge("reduce", table.words)
-        order = np.argsort(key, kind="stable")
-        sorted_tab = table.take(order)
-        ks = key[order]
+        order = _sorted_order(key)
+        if order is None:  # already grouped: no argsort, no row gather
+            sorted_tab, ks = table, key
+        else:
+            sorted_tab = table.take(order)
+            ks = key[order]
         n = len(ks)
         starts = segment_starts(ks, n)
         start_idx = np.flatnonzero(starts)

@@ -26,6 +26,8 @@ vectorised and the message-level engine compare them identically.
 from __future__ import annotations
 
 import contextlib
+import functools
+import time
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
@@ -134,8 +136,44 @@ def float_sort_key(values: np.ndarray) -> np.ndarray:
     return np.where(bits < 0, np.int64(-0x8000000000000000) - bits - 1, bits)
 
 
+#: Primitive method -> cost-phase primitive name (for wall attribution).
+_TIMED_PRIMITIVES = {
+    "sort": "sort",
+    "scan": "scan",
+    "lookup": "lookup",
+    "predecessor": "predecessor",
+    "reduce_by_key": "reduce",
+    "filter": "filter",
+    "scalar": "scalar",
+}
+
+
+def _timed_method(primitive: str, fn):
+    @functools.wraps(fn)
+    def run(self, *args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return fn(self, *args, **kwargs)
+        finally:
+            self.tracker.record_wall(primitive, time.perf_counter() - t0)
+
+    run._wall_timed = True
+    return run
+
+
 class Runtime(ABC):
     """Abstract MPC engine; see module docstring for the primitive set."""
+
+    def __init_subclass__(cls, **kwargs):
+        # per-primitive wall attribution (``CostTracker.wall_profile``):
+        # wrap each concrete engine's primitives at class-definition time
+        # (instances stay clean and picklable) so both engines report
+        # where the time actually goes
+        super().__init_subclass__(**kwargs)
+        for meth, prim in _TIMED_PRIMITIVES.items():
+            fn = cls.__dict__.get(meth)
+            if fn is not None and not getattr(fn, "_wall_timed", False):
+                setattr(cls, meth, _timed_method(prim, fn))
 
     def __init__(self, config: MPCConfig | None = None):
         self.config = config or MPCConfig()

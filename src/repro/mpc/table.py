@@ -65,6 +65,20 @@ class Table:
     # -- construction helpers -------------------------------------------------
 
     @staticmethod
+    def _wrap(cols: Dict[str, np.ndarray]) -> "Table":
+        """Wrap already-validated, equal-length columns (trusted fast path).
+
+        Row-algebra operations on an existing table (``take``, ``mask``,
+        ``select``, ...) can only produce canonical column dtypes, so
+        they skip the per-column validation of ``__init__`` — it showed
+        up as real overhead once the distributed engine went columnar.
+        """
+        t = Table.__new__(Table)
+        t._cols = cols
+        t._n = len(next(iter(cols.values()))) if cols else 0
+        return t
+
+    @staticmethod
     def empty(schema: Mapping[str, np.dtype | type]) -> "Table":
         """An empty table with the given column schema."""
         return Table({k: np.empty(0, dtype=np.dtype(v)) for k, v in schema.items()})
@@ -81,7 +95,7 @@ class Table:
                 raise ValidationError(
                     f"schema mismatch in concat: {list(t._cols)} vs {names}"
                 )
-        return Table(
+        return Table._wrap(
             {k: np.concatenate([t._cols[k] for t in tables]) for k in names}
         )
 
@@ -122,36 +136,42 @@ class Table:
         missing = [n for n in names if n not in self._cols]
         if missing:
             raise ValidationError(f"unknown columns {missing}")
-        return Table({n: self._cols[n] for n in names})
+        return Table._wrap({n: self._cols[n] for n in names})
 
     def drop(self, *names: str) -> "Table":
-        return Table({k: v for k, v in self._cols.items() if k not in names})
+        return Table._wrap(
+            {k: v for k, v in self._cols.items() if k not in names}
+        )
 
     def rename(self, mapping: Mapping[str, str]) -> "Table":
-        return Table({mapping.get(k, k): v for k, v in self._cols.items()})
+        return Table._wrap(
+            {mapping.get(k, k): v for k, v in self._cols.items()}
+        )
 
     def with_cols(self, **new) -> "Table":
+        if not self._cols:
+            return Table(new)
         cols = dict(self._cols)
         for name, values in new.items():
             arr = _as_column(name, values)
-            if self._cols and len(arr) != self._n:
+            if len(arr) != self._n:
                 raise ValidationError(
                     f"new column {name!r} has length {len(arr)}, expected {self._n}"
                 )
             cols[name] = arr
-        return Table(cols)
+        return Table._wrap(cols)
 
     def take(self, idx: np.ndarray) -> "Table":
-        return Table({k: v[idx] for k, v in self._cols.items()})
+        return Table._wrap({k: v[idx] for k, v in self._cols.items()})
 
     def mask(self, m: np.ndarray) -> "Table":
         m = np.asarray(m, dtype=bool)
         if len(m) != self._n:
             raise ValidationError("mask length mismatch")
-        return Table({k: v[m] for k, v in self._cols.items()})
+        return Table._wrap({k: v[m] for k, v in self._cols.items()})
 
     def head(self, k: int) -> "Table":
-        return Table({name: v[:k] for name, v in self._cols.items()})
+        return Table._wrap({name: v[:k] for name, v in self._cols.items()})
 
     # -- test/debug helpers ----------------------------------------------------
 

@@ -55,6 +55,31 @@ class TestSensitivityCommand:
         assert code == 0 and "bridges" in text
 
 
+class TestProfileCommand:
+    def test_local_profile_lists_primitives(self):
+        code, text = run_cli(["profile", "--kind", "sensitivity",
+                              "--n", "120"])
+        assert code == 0
+        assert "per-primitive wall attribution" in text
+        for prim in ("sort", "lookup", "scalar"):
+            assert prim in text
+        assert "(outside primitives)" in text
+
+    def test_distributed_profile_reports_transport(self):
+        code, text = run_cli(["profile", "--kind", "verify", "--shape",
+                              "star", "--n", "40", "--extra-m", "60",
+                              "--engine", "distributed", "--delta", "0.6"])
+        assert code == 0
+        assert "transport rounds" in text
+        assert "is_mst=True" in text
+
+    def test_break_mst_profiles_failing_verify(self):
+        code, text = run_cli(["profile", "--kind", "verify", "--n", "100",
+                              "--break-mst"])
+        assert code == 0
+        assert "is_mst=False" in text
+
+
 class TestPipelineCommand:
     def test_plan_only_lists_stages(self):
         code, text = run_cli(["pipeline", "--kind", "sensitivity",

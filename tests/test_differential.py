@@ -121,3 +121,72 @@ def test_engines_bit_identical_sensitivity(delta):
     np.testing.assert_array_equal(sl.mc, sd.mc)
     np.testing.assert_array_equal(sl.pathmax, sd.pathmax)
     assert sl.rounds == sd.rounds
+
+
+# -- engine differential at 10x scale (columnar fabric) ------------------------
+
+#: The columnar message-level engine is fast enough to differential-test
+#: at sizes where the capacity-capped protocols actually bite; delta must
+#: leave the single-level collectives legal (m <= s with summary headroom).
+SCALE_CONFIG = MPCConfig(delta=0.6)
+
+
+@pytest.mark.parametrize("n", (512, 1024))
+@pytest.mark.parametrize("broken", (False, True))
+def test_engines_bit_identical_verification_at_scale(n, broken):
+    g, _ = known_mst_instance("random", n, extra_m=2 * n, rng=n)
+    if broken:
+        g = perturb_break_mst(g, rng=n + 1)
+    rl = verify_mst(g, engine="local")
+    rd = verify_mst(g, engine="distributed", config=SCALE_CONFIG)
+    assert rl.is_mst == rd.is_mst
+    assert rl.n_violations == rd.n_violations
+    np.testing.assert_array_equal(rl.violating_edges, rd.violating_edges)
+    np.testing.assert_array_equal(rl.pathmax, rd.pathmax)
+    assert rl.rounds == rd.rounds
+    assert rd.report.transport_rounds > rd.rounds  # real exchanges happened
+
+
+@pytest.mark.parametrize("n", (512, 1024))
+def test_engines_bit_identical_sensitivity_at_scale(n):
+    g, _ = known_mst_instance("caterpillar", n, extra_m=2 * n, rng=n)
+    sl = mst_sensitivity(g, engine="local")
+    sd = mst_sensitivity(g, engine="distributed", config=SCALE_CONFIG)
+    np.testing.assert_array_equal(sl.sensitivity, sd.sensitivity)
+    np.testing.assert_array_equal(sl.mc, sd.mc)
+    np.testing.assert_array_equal(sl.pathmax, sd.pathmax)
+    assert sl.rounds == sd.rounds
+
+
+@pytest.mark.parametrize("shape", ("grid", "power_law"))
+@pytest.mark.parametrize("broken", (False, True))
+def test_engines_bit_identical_new_families(shape, broken):
+    """The PR-3 serving families (Θ(√n) and hub-heavy diameters) routed
+    through the message-level fabric, not just the vectorised engine."""
+    g, _ = known_mst_instance(shape, 512, extra_m=1024, rng=13)
+    if broken:
+        g = perturb_break_mst(g, rng=17)
+    rl = verify_mst(g, engine="local")
+    rd = verify_mst(g, engine="distributed", config=SCALE_CONFIG)
+    assert rl.is_mst == rd.is_mst
+    np.testing.assert_array_equal(rl.pathmax, rd.pathmax)
+    np.testing.assert_array_equal(rl.violating_edges, rd.violating_edges)
+    assert rl.rounds == rd.rounds
+    if not broken:
+        sl = mst_sensitivity(g, engine="local")
+        sd = mst_sensitivity(g, engine="distributed", config=SCALE_CONFIG)
+        np.testing.assert_array_equal(sl.sensitivity, sd.sensitivity)
+        np.testing.assert_array_equal(sl.mc, sd.mc)
+        assert sl.rounds == sd.rounds
+
+
+def test_transport_rounds_deterministic_across_runs():
+    """Transport-round counts are part of the engine's contract: two runs
+    of the same instance/config must execute the identical exchange
+    schedule (this is what pins E9's 'transport rounds' column)."""
+    g, _ = known_mst_instance("random", 512, extra_m=1024, rng=29)
+    ra = verify_mst(g, engine="distributed", config=SCALE_CONFIG)
+    rb = verify_mst(g, engine="distributed", config=SCALE_CONFIG)
+    assert ra.report.transport_rounds == rb.report.transport_rounds
+    assert ra.rounds == rb.rounds
+    np.testing.assert_array_equal(ra.pathmax, rb.pathmax)
