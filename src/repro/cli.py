@@ -6,6 +6,8 @@ Commands
 ``sensitivity``  run Theorem 4.1 and print the most fragile edges
 ``profile``      run a pipeline and print the per-primitive wall-time
                  and call-count table (where the next hot path is)
+``explain``      run a pipeline and print the logical vs physical plan
+                 per phase (elided sorts, fused joins, operator choices)
 ``pipeline``     print the stage DAG plan (and run it, warm-starting
                  from an artifact cache)
 ``batch``        fan a mixed verify/sensitivity workload over a process pool
@@ -90,6 +92,19 @@ def build_parser() -> argparse.ArgumentParser:
                     default="sensitivity")
     sp.add_argument("--break-mst", action="store_true",
                     help="perturb one non-tree edge below its path max")
+
+    sp = sub.add_parser(
+        "explain",
+        help="print the logical vs physical plan of a pipeline run "
+             "(elided/fused/reused nodes per phase)",
+    )
+    instance_args(sp)
+    sp.add_argument("--kind", choices=["verify", "sensitivity"],
+                    default="sensitivity")
+    sp.add_argument("--break-mst", action="store_true",
+                    help="perturb one non-tree edge below its path max")
+    sp.add_argument("--full", action="store_true",
+                    help="list every plan node, not just per-phase summaries")
 
     sp = sub.add_parser(
         "pipeline",
@@ -273,6 +288,85 @@ def cmd_profile(args, out) -> int:
     out.write(render_table(
         ["primitive", "calls", "wall (s)", "of total", "ms/call"], rows
     ))
+    return 0
+
+
+#: Order in which physical-operator counters print in ``explain``.
+_EXPLAIN_PHYS = (
+    "identity", "cse", "argsort-permute", "dense-gather", "direct-address",
+    "binary-search", "empty-data", "grouped-reduceat", "sort-reduceat",
+    "segmented-scan", "mask-compact", "aggregation-tree", "sample-sort",
+    "co-sort-copy-down", "carry-chain", "sort-scan-boundary",
+    "compact-rebalance",
+)
+
+
+def cmd_explain(args, out) -> int:
+    from .core.verification import distributed_hint, verify_mst
+    from .mpc import make_runtime
+
+    g = _make_instance(args)
+    if args.break_mst:
+        g = perturb_break_mst(g, rng=args.seed + 1)
+    rt = make_runtime(args.engine, _config(args),
+                      total_words_hint=distributed_hint(g))
+    if rt.planner is None:
+        print("error: explain needs the planner (config.planner=True)",
+              file=sys.stderr)
+        return 2
+    if args.kind == "sensitivity":
+        from .core.sensitivity import mst_sensitivity
+
+        r = mst_sensitivity(g, runtime=rt, oracle_labels=args.oracle_labels)
+        verdict = f"rounds={r.rounds}"
+    else:
+        r = verify_mst(g, runtime=rt, oracle_labels=args.oracle_labels)
+        verdict = f"is_mst={r.is_mst} rounds={r.rounds}"
+    log = rt.planner.log
+    out.write(f"instance: shape={args.shape} n={g.n} m={g.m} "
+              f"engine={args.engine}\n")
+    out.write(f"{args.kind}: {verdict}, {len(log)} logical plan nodes\n\n")
+    out.write("logical -> physical plan by phase "
+              "(rounds are charged from the logical side):\n")
+    summary = log.phase_summary()
+    for phase, c in summary.items():
+        ops = ", ".join(
+            f"{v} {k[2:]}" for k, v in sorted(c.items()) if k.startswith("n_")
+        )
+        rewrites = []
+        if c.get("elided_sort"):
+            rewrites.append(f"{c['elided_sort']} sort(s) elided")
+        if c.get("fused_join"):
+            rewrites.append(f"{c['fused_join']} join(s) fused with reduce")
+        if c.get("reused"):
+            rewrites.append(f"{c['reused']} sub-plan(s) reused")
+        phys = ", ".join(
+            f"{c['phys_' + p]} {p}" for p in _EXPLAIN_PHYS
+            if c.get("phys_" + p)
+        )
+        out.write(f"  {phase}\n")
+        out.write(f"    logical : {ops}\n")
+        out.write(f"    physical: {phys if phys else '(none executed)'}"
+                  f"{('  [' + '; '.join(rewrites) + ']') if rewrites else ''}\n")
+    tot = log.totals()
+    out.write("\ntotals: "
+              f"{tot.get('nodes', 0)} nodes, "
+              f"{tot.get('elided_sort', 0)} sorts elided of "
+              f"{tot.get('n_sort', 0)}, "
+              f"{tot.get('fused_join', 0)} joins fused, "
+              f"{tot.get('reused', 0)} sub-plans reused\n")
+    joins = sum(tot.get(k, 0) for k in
+                ("phys_dense-gather", "phys_direct-address"))
+    out.write(f"        {joins} joins answered by direct addressing, "
+              f"{tot.get('phys_binary-search', 0)} by binary search\n")
+    if args.full:
+        out.write("\nplan nodes:\n")
+        for node in log.nodes:
+            detail = f"({node.detail})" if node.detail else ""
+            note = f"  # {node.note}" if node.note else ""
+            out.write(f"  [{node.nid:4d}] {node.phase:28s} "
+                      f"{node.op}{detail} n={node.n_in} -> "
+                      f"{node.status}/{node.physical}{note}\n")
     return 0
 
 
@@ -491,6 +585,7 @@ def main(argv=None, out=None) -> int:
             "verify": cmd_verify,
             "sensitivity": cmd_sensitivity,
             "profile": cmd_profile,
+            "explain": cmd_explain,
             "pipeline": cmd_pipeline,
             "batch": cmd_batch,
             "serve": cmd_serve,

@@ -14,6 +14,8 @@ from .cost import CostModel, CostReport, CostTracker
 from .distributed import DistributedRuntime
 from .local import LocalRuntime
 from .machines import Fabric, FleetState
+from .optimizer import JoinPlan, Optimizer
+from .plan import LazyTable, PhysProps, PlanLog, PlanNode, Planner
 from .runtime import NEG_INF, POS_INF, Runtime, float_sort_key, pack_columns
 from .table import Table
 
@@ -26,6 +28,13 @@ __all__ = [
     "LocalRuntime",
     "Fabric",
     "FleetState",
+    "JoinPlan",
+    "LazyTable",
+    "Optimizer",
+    "PhysProps",
+    "PlanLog",
+    "PlanNode",
+    "Planner",
     "Runtime",
     "Table",
     "pack_columns",

@@ -45,6 +45,14 @@ class MPCConfig:
     seed:
         Seed for randomised protocol choices (sample sort splitters,
         head/tail contraction coins). Fixed seed => reproducible runs.
+    planner:
+        Route primitives through the lazy logical-plan layer
+        (:mod:`.plan` / :mod:`.optimizer`). Rounds and memory are
+        charged from the logical op stream either way, so planned and
+        eager execution produce bit-identical :class:`CostReport`\\ s;
+        the planner only changes *physical* execution (elided sorts,
+        direct-address joins). ``False`` restores the eager engines —
+        the baseline the differential suite and E14 compare against.
     """
 
     delta: float = 0.35
@@ -53,6 +61,7 @@ class MPCConfig:
     global_slack: float = 4.0
     cost_mode: str = "unit"
     seed: int = 0x5EED
+    planner: bool = True
 
     def __post_init__(self):
         if not (0.0 < self.delta < 1.0):

@@ -53,7 +53,15 @@ __all__ = ["DistributedRuntime"]
 
 
 class DistributedRuntime(Runtime):
-    """Message-level engine; see module docstring."""
+    """Message-level engine; see module docstring.
+
+    Under the planner this engine runs in *record* mode (no
+    ``"rewrite"`` capability): the logical plan is captured and
+    property-proven check elisions apply (e.g. the duplicate-key scan
+    of a lookup fused with its producing reduce), but every protocol
+    executes in full — the transport-round schedule is part of the
+    engine's contract and must stay bit-identical, planned or eager.
+    """
 
     def __init__(self, config: MPCConfig | None = None, total_words_hint: int = 4096):
         super().__init__(config)
@@ -219,7 +227,7 @@ class DistributedRuntime(Runtime):
         self._rebalance(np.bincount(state.mid, minlength=m), ncols, cap)
         return table.take(perm)
 
-    def sort(self, table: Table, by: Sequence[str]) -> Table:
+    def _sort(self, table: Table, by: Sequence[str]) -> Table:
         key = pack_columns(table, by)
         self.tracker.charge("sort", table.words)
         return self._sort_impl(table, key)
@@ -325,7 +333,7 @@ class DistributedRuntime(Runtime):
             exc[int(offs[j])] = c
         return exc
 
-    def scan(
+    def _scan(
         self,
         table: Table,
         value_col: str,
@@ -459,7 +467,7 @@ class DistributedRuntime(Runtime):
                 out_cols[out_name] = col
         return queries.with_cols(**out_cols)
 
-    def lookup(
+    def _lookup(
         self,
         queries: Table,
         qkey: Sequence[str],
@@ -478,7 +486,7 @@ class DistributedRuntime(Runtime):
         self.tracker.charge("lookup", queries.words + data.words)
         return self._merge_join(queries, qk, data, dk, payload, default, exact=True)
 
-    def predecessor(
+    def _predecessor(
         self,
         queries: Table,
         qkey: str,
@@ -496,7 +504,7 @@ class DistributedRuntime(Runtime):
 
     # ------------------------------------------------------------------ reduce
 
-    def reduce_by_key(
+    def _reduce_by_key(
         self,
         table: Table,
         by: Sequence[str],
@@ -544,7 +552,7 @@ class DistributedRuntime(Runtime):
 
     # ------------------------------------------------------------------ misc
 
-    def filter(self, table: Table, mask: np.ndarray) -> Table:
+    def _filter(self, table: Table, mask: np.ndarray) -> Table:
         self.tracker.charge("filter", table.words)
         mask = np.asarray(mask, dtype=bool)
         if len(mask) != len(table):
@@ -561,7 +569,7 @@ class DistributedRuntime(Runtime):
         self._rebalance(kept, len(table.columns), cap)
         return table.mask(mask)
 
-    def scalar(self, table: Table, value_col: str, op: str):
+    def _scalar(self, table: Table, value_col: str, op: str):
         self._check_op(op)
         vals = table.col(value_col)
         self.tracker.charge("scalar", table.words)

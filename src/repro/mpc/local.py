@@ -5,6 +5,15 @@ charging exactly the rounds the distributed realisation would. This is
 the engine used for experiments at scale; the message-level engine
 (:mod:`.distributed`) validates it on smaller inputs (tests assert both
 produce identical outputs and identical charged rounds).
+
+Each primitive is split into a *charged eager* method (``_sort`` ...,
+used when the planner is off — behaviour identical to the pre-planner
+engine, including the per-call ``_sorted_order`` fast paths) and an
+uncharged *physical executor* (``_exec_sort`` ...) that the planner
+invokes after logical charging, optionally with a precomputed
+:class:`~repro.mpc.optimizer.JoinPlan` carrying the optimizer's
+physical-operator choice. Both paths share the result-assembly code, so
+planned and eager outputs are bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -35,9 +44,9 @@ def _sorted_order(key: np.ndarray) -> np.ndarray | None:
 
     A stable argsort of a non-decreasing array is the identity, so
     callers can skip both the argsort and the gathers it would feed.
-    This is the common case for join/reduce inputs that were just
-    produced by ``sort``/``reduce_by_key`` (e.g. every join inside
-    ``expand_join``), where re-sorting would silently double the work.
+    This per-call scan is the eager engine's fast path; with the
+    planner on, the same decision comes from memoised array facts
+    (:class:`~repro.mpc.plan.FactRegistry`) instead.
     """
     if len(key) > 1 and np.any(key[:-1] > key[1:]):
         return np.argsort(key, kind="stable")
@@ -47,15 +56,16 @@ def _sorted_order(key: np.ndarray) -> np.ndarray | None:
 class LocalRuntime(Runtime):
     """Single-process engine: NumPy semantics + MPC cost model."""
 
-    # -- primitives ---------------------------------------------------------------
+    plan_capabilities = frozenset({"rewrite"})
 
-    def sort(self, table: Table, by: Sequence[str]) -> Table:
+    # -- charged eager primitives --------------------------------------------------
+
+    def _sort(self, table: Table, by: Sequence[str]) -> Table:
         key = pack_columns(table, by)
         self.tracker.charge("sort", table.words)
-        order = np.argsort(key, kind="stable")
-        return table.take(order)
+        return self._exec_sort(table, key)
 
-    def scan(
+    def _scan(
         self,
         table: Table,
         value_col: str,
@@ -65,13 +75,11 @@ class LocalRuntime(Runtime):
         identity=None,
     ) -> np.ndarray:
         self._check_op(op)
-        vals = table.col(value_col)
         keys = pack_columns(table, by) if by else None
         self.tracker.charge("scan", table.words)
-        starts = segment_starts(keys, len(vals))
-        return segmented_scan(vals, op, starts, exclusive=exclusive)
+        return self._exec_scan(table, keys, value_col, op, exclusive)
 
-    def lookup(
+    def _lookup(
         self,
         queries: Table,
         qkey: Sequence[str],
@@ -83,12 +91,71 @@ class LocalRuntime(Runtime):
     ) -> Table:
         qk, dk = pack_pair(queries, qkey, data, dkey)
         self.tracker.charge("lookup", queries.words + data.words)
+        return self._exec_lookup(queries, qk, data, dk, payload, default,
+                                 check_unique, None)
+
+    def _predecessor(
+        self,
+        queries: Table,
+        qkey: str,
+        data: Table,
+        dkey: str,
+        payload: Mapping[str, str],
+        default: Mapping[str, float],
+    ) -> Table:
+        qk = queries.col(qkey)
+        dk = data.col(dkey)
+        if qk.dtype.kind != "i" or dk.dtype.kind != "i":
+            raise ValidationError("predecessor keys must be integer columns")
+        self.tracker.charge("predecessor", queries.words + data.words)
+        return self._exec_predecessor(queries, qk, data, dk, payload,
+                                      default, None)
+
+    def _reduce_by_key(
+        self,
+        table: Table,
+        by: Sequence[str],
+        aggs: Mapping[str, Tuple[str, str]],
+    ) -> Table:
+        for _, (_, op) in aggs.items():
+            self._check_op(op)
+        key = pack_columns(table, by)
+        self.tracker.charge("reduce", table.words)
+        return self._exec_reduce(table, key, by, aggs, _sorted_order(key))
+
+    def _filter(self, table: Table, mask: np.ndarray) -> Table:
+        self.tracker.charge("filter", table.words)
+        return self._exec_filter(table, mask)
+
+    def _scalar(self, table: Table, value_col: str, op: str):
+        self._check_op(op)
+        self.tracker.charge("scalar", table.words)
+        return self._exec_scalar(table, value_col, op)
+
+    # -- uncharged physical executors (planner entry points) -----------------------
+
+    def _exec_sort(self, table: Table, key: np.ndarray) -> Table:
+        order = np.argsort(key, kind="stable")
+        return table.take(order)
+
+    def _exec_scan(self, table: Table, keys, value_col: str, op: str,
+                   exclusive: bool) -> np.ndarray:
+        vals = table.col(value_col)
+        starts = segment_starts(keys, len(vals))
+        return segmented_scan(vals, op, starts, exclusive=exclusive)
+
+    def _exec_lookup(self, queries: Table, qk: np.ndarray, data: Table,
+                     dk: np.ndarray, payload, default, check_unique,
+                     jp) -> Table:
+        nq = len(qk)
+        if jp is not None:
+            return self._join_assemble(queries, qk, data, payload, default,
+                                       jp, exact=True)
         order = _sorted_order(dk)
         dks = dk if order is None else dk[order]
         if check_unique and len(dks) > 1 and np.any(dks[1:] == dks[:-1]):
             dup = dks[1:][dks[1:] == dks[:-1]][0]
             raise ProtocolError(f"lookup data has duplicate key {int(dup)}")
-        nq = len(qk)
         if len(dks) == 0:
             hit = np.zeros(nq, dtype=bool)
             pos = np.zeros(nq, dtype=np.int64)
@@ -115,23 +182,14 @@ class LocalRuntime(Runtime):
                 out_cols[out_name] = col
         return queries.with_cols(**out_cols)
 
-    def predecessor(
-        self,
-        queries: Table,
-        qkey: str,
-        data: Table,
-        dkey: str,
-        payload: Mapping[str, str],
-        default: Mapping[str, float],
-    ) -> Table:
-        qk = queries.col(qkey)
-        dk = data.col(dkey)
-        if qk.dtype.kind != "i" or dk.dtype.kind != "i":
-            raise ValidationError("predecessor keys must be integer columns")
-        self.tracker.charge("predecessor", queries.words + data.words)
+    def _exec_predecessor(self, queries: Table, qk: np.ndarray, data: Table,
+                          dk: np.ndarray, payload, default, jp) -> Table:
+        nq = len(qk)
+        if jp is not None:
+            return self._join_assemble(queries, qk, data, payload, default,
+                                       jp, exact=False)
         order = _sorted_order(dk)
         dks = dk if order is None else dk[order]
-        nq = len(qk)
         if len(dks) == 0:
             hit = np.zeros(nq, dtype=bool)
             pos = np.zeros(nq, dtype=np.int64)
@@ -150,17 +208,54 @@ class LocalRuntime(Runtime):
             out_cols[out_name] = col
         return queries.with_cols(**out_cols)
 
-    def reduce_by_key(
-        self,
-        table: Table,
-        by: Sequence[str],
-        aggs: Mapping[str, Tuple[str, str]],
-    ) -> Table:
-        for _, (_, op) in aggs.items():
-            self._check_op(op)
-        key = pack_columns(table, by)
-        self.tracker.charge("reduce", table.words)
-        order = _sorted_order(key)
+    def _join_assemble(self, queries: Table, qk: np.ndarray, data: Table,
+                       payload, default, jp, *, exact) -> Table:
+        """Planned-path result assembly from a resolved ``JoinPlan``.
+
+        Values are bit-identical to the eager loops above; only the
+        assembly differs: the hit gather indices are computed once per
+        join (not once per payload column) and fully-hit joins gather
+        straight into the fill dtype, skipping the fill pass the eager
+        path would fully overwrite anyway.
+        """
+        nq = len(qk)
+        order, pos, hit = jp.order, jp.pos, jp.hit
+        all_hit = bool(hit.all())
+        if exact and default is None and not all_hit:
+            missing = qk[~hit][:3].tolist()
+            raise ProtocolError(f"lookup misses with no default (keys {missing})")
+        pos_hit = None if all_hit else pos[hit]
+        out_cols = {}
+        for out_name, src_name in payload.items():
+            src = data.col(src_name)
+            if order is not None:
+                src = src[order]
+            if not len(src):
+                if exact and all_hit:
+                    out_cols[out_name] = np.empty(0, src.dtype)
+                else:
+                    out_cols[out_name] = _default_fill(nq, src,
+                                                       default[out_name])
+                continue
+            if all_hit:
+                if exact:
+                    # eager's fully-hit lookup keeps the source dtype
+                    out_cols[out_name] = src[pos]
+                else:
+                    # eager's predecessor always fills first: the fill
+                    # dtype wins even when fully overwritten
+                    fill_dtype = _default_fill(0, src,
+                                               default[out_name]).dtype
+                    out_cols[out_name] = src[pos].astype(fill_dtype,
+                                                         copy=False)
+                continue
+            col = _default_fill(nq, src, default[out_name])
+            col[hit] = src[pos_hit].astype(col.dtype, copy=False)
+            out_cols[out_name] = col
+        return queries.with_cols(**out_cols)
+
+    def _exec_reduce(self, table: Table, key: np.ndarray, by, aggs,
+                     order) -> Table:
         if order is None:  # already grouped: no argsort, no row gather
             sorted_tab, ks = table, key
         else:
@@ -179,14 +274,11 @@ class LocalRuntime(Runtime):
             out[out_name] = ufunc.reduceat(vals, start_idx)
         return Table(out)
 
-    def filter(self, table: Table, mask: np.ndarray) -> Table:
-        self.tracker.charge("filter", table.words)
+    def _exec_filter(self, table: Table, mask: np.ndarray) -> Table:
         return table.mask(mask)
 
-    def scalar(self, table: Table, value_col: str, op: str):
-        self._check_op(op)
+    def _exec_scalar(self, table: Table, value_col: str, op: str):
         vals = table.col(value_col)
-        self.tracker.charge("scalar", table.words)
         if len(vals) == 0:
             ident = op_identity(op, vals.dtype)
             return ident

@@ -136,15 +136,17 @@ def float_sort_key(values: np.ndarray) -> np.ndarray:
     return np.where(bits < 0, np.int64(-0x8000000000000000) - bits - 1, bits)
 
 
-#: Primitive method -> cost-phase primitive name (for wall attribution).
+#: Engine method -> cost-phase primitive name (for wall attribution).
+#: The charged eager implementations are wrapped; the planner times its
+#: own record+execute path and reports through the same channel.
 _TIMED_PRIMITIVES = {
-    "sort": "sort",
-    "scan": "scan",
-    "lookup": "lookup",
-    "predecessor": "predecessor",
-    "reduce_by_key": "reduce",
-    "filter": "filter",
-    "scalar": "scalar",
+    "_sort": "sort",
+    "_scan": "scan",
+    "_lookup": "lookup",
+    "_predecessor": "predecessor",
+    "_reduce_by_key": "reduce",
+    "_filter": "filter",
+    "_scalar": "scalar",
 }
 
 
@@ -162,7 +164,22 @@ def _timed_method(primitive: str, fn):
 
 
 class Runtime(ABC):
-    """Abstract MPC engine; see module docstring for the primitive set."""
+    """Abstract MPC engine; see module docstring for the primitive set.
+
+    Primitives are *logical* operations: calling one charges its rounds
+    and memory immediately (the logical plan is the charged op stream —
+    the object of the paper's round claims). Physical execution runs
+    through the planner (:mod:`.plan`) when ``config.planner`` is set:
+    sorts defer to flush points and the optimizer elides/fuses provably
+    redundant physical work, with outputs and :class:`CostReport`
+    bit-identical to eager execution. With the planner off, the
+    engine's charged eager implementations (``_sort`` ...) run
+    directly, exactly as before.
+    """
+
+    #: Planner capability flags; ``{"rewrite"}`` enables the full
+    #: physical rule set (requires the ``_exec_*`` executor split).
+    plan_capabilities: frozenset = frozenset()
 
     def __init_subclass__(cls, **kwargs):
         # per-primitive wall attribution (``CostTracker.wall_profile``):
@@ -180,12 +197,28 @@ class Runtime(ABC):
         self.tracker = CostTracker(CostModel(mode=self.config.cost_mode,
                                              delta=self.config.delta))
         self._rng = np.random.default_rng(self.config.seed)
+        if self.config.planner:
+            from .plan import Planner
+
+            self._planner = Planner(self)
+        else:
+            self._planner = None
 
     # -- bookkeeping ------------------------------------------------------------
 
     @property
     def rng(self) -> np.random.Generator:
         return self._rng
+
+    @property
+    def planner(self):
+        """The logical-plan recorder/executor (``None`` when disabled)."""
+        return self._planner
+
+    def flush_plan(self) -> None:
+        """Execute pending deferred plan nodes (an explicit flush point)."""
+        if self._planner is not None:
+            self._planner.flush()
 
     @contextlib.contextmanager
     def phase(self, name: str):
@@ -194,9 +227,14 @@ class Runtime(ABC):
         try:
             yield self
         finally:
+            # phase exits are flush points: deferred nodes recorded in
+            # this phase execute before the phase closes
+            if self._planner is not None:
+                self._planner.flush()
             self.tracker.pop_phase(name)
 
     def report(self) -> CostReport:
+        self.flush_plan()
         return self.tracker.report()
 
     @property
@@ -210,16 +248,17 @@ class Runtime(ABC):
     def release(self, key: str) -> None:
         self.tracker.release(key)
 
-    # -- primitives ---------------------------------------------------------------
+    # -- primitives (logical layer: plan when enabled, else eager) ----------------
 
-    @abstractmethod
     def sort(self, table: Table, by: Sequence[str]) -> Table:
         """Globally sort ``table`` by the integer key columns ``by``.
 
         Stable with respect to the current row order. Costs one ``sort``.
         """
+        if self._planner is not None:
+            return self._planner.sort(table, by)
+        return self._sort(table, by)
 
-    @abstractmethod
     def scan(
         self,
         table: Table,
@@ -237,8 +276,11 @@ class Runtime(ABC):
         strictly preceding rows (``identity`` at segment starts).
         Costs one ``scan``.
         """
+        if self._planner is not None:
+            return self._planner.scan(table, value_col, op, by, exclusive,
+                                      identity)
+        return self._scan(table, value_col, op, by, exclusive, identity)
 
-    @abstractmethod
     def lookup(
         self,
         queries: Table,
@@ -257,8 +299,12 @@ class Runtime(ABC):
         result is ``queries`` extended with the payload columns, original
         order preserved. Costs one ``lookup``.
         """
+        if self._planner is not None:
+            return self._planner.lookup(queries, qkey, data, dkey, payload,
+                                        default, check_unique)
+        return self._lookup(queries, qkey, data, dkey, payload, default,
+                            check_unique)
 
-    @abstractmethod
     def predecessor(
         self,
         queries: Table,
@@ -274,8 +320,11 @@ class Runtime(ABC):
         data keys the one latest in input order wins. Costs one
         ``predecessor``.
         """
+        if self._planner is not None:
+            return self._planner.predecessor(queries, qkey, data, dkey,
+                                             payload, default)
+        return self._predecessor(queries, qkey, data, dkey, payload, default)
 
-    @abstractmethod
     def reduce_by_key(
         self,
         table: Table,
@@ -288,18 +337,59 @@ class Runtime(ABC):
         result has one row per distinct key, sorted by key, with the key
         columns and the aggregate columns. Costs one ``reduce``.
         """
+        if self._planner is not None:
+            return self._planner.reduce_by_key(table, by, aggs)
+        return self._reduce_by_key(table, by, aggs)
 
-    @abstractmethod
     def filter(self, table: Table, mask: np.ndarray) -> Table:
         """Compact the rows where ``mask`` holds. Costs one ``filter``."""
+        if self._planner is not None:
+            return self._planner.filter(table, mask)
+        return self._filter(table, mask)
 
-    @abstractmethod
     def scalar(self, table: Table, value_col: str, op: str) -> float | int:
         """Global aggregate of a column, made known to all machines.
 
         Returns the Python scalar; identity (0 / -inf / +inf) on an empty
-        table. Costs one ``scalar``.
+        table. Costs one ``scalar``. A scalar read is a plan flush point:
+        pending deferred nodes execute before the value is produced.
         """
+        if self._planner is not None:
+            return self._planner.scalar(table, value_col, op)
+        return self._scalar(table, value_col, op)
+
+    # -- charged eager implementations (one per engine) ---------------------------
+
+    @abstractmethod
+    def _sort(self, table: Table, by: Sequence[str]) -> Table:
+        ...
+
+    @abstractmethod
+    def _scan(self, table, value_col, op, by=(), exclusive=False,
+              identity=None) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def _lookup(self, queries, qkey, data, dkey, payload, default=None,
+                check_unique=True) -> Table:
+        ...
+
+    @abstractmethod
+    def _predecessor(self, queries, qkey, data, dkey, payload,
+                     default) -> Table:
+        ...
+
+    @abstractmethod
+    def _reduce_by_key(self, table, by, aggs) -> Table:
+        ...
+
+    @abstractmethod
+    def _filter(self, table, mask) -> Table:
+        ...
+
+    @abstractmethod
+    def _scalar(self, table, value_col, op):
+        ...
 
     # -- conveniences built on primitives -------------------------------------------
 
@@ -342,7 +432,12 @@ class Runtime(ABC):
             return Table.empty(out_schema)
         qk, dk = pack_pair(queries, qkey, data, dkey)
         dsort = self.sort(data.with_cols(__ek=dk), ("__ek",))
-        dsort = dsort.with_cols(__pos=np.arange(len(dsort), dtype=np.int64))
+        pos_ids = np.arange(len(dsort), dtype=np.int64)
+        if self._planner is not None:
+            # structural fact: a fresh arange is sorted, unique and dense,
+            # so the final fetch below joins by one gather, no search
+            self._planner.hint_sorted_unique(pos_ids)
+        dsort = dsort.with_cols(__pos=pos_ids)
         ones = np.ones(len(dsort), dtype=np.int64)
         groups = self.reduce_by_key(
             dsort.with_cols(__one=ones),
@@ -362,7 +457,10 @@ class Runtime(ABC):
         qnz = self.filter(q2, q2.col("__cnt") > 0)
         if total == 0 or len(qnz) == 0:
             return Table.empty(out_schema)
-        skel = Table(__o=np.arange(total, dtype=np.int64))
+        skel_ids = np.arange(total, dtype=np.int64)
+        if self._planner is not None:
+            self._planner.hint_sorted_unique(skel_ids)
+        skel = Table(__o=skel_ids)
         pred_payload = {"__off2": "__off", "__start2": "__start"}
         pred_payload.update({f"__c_{c}": c for c in carry})
         defaults = {"__off2": 0, "__start2": 0}

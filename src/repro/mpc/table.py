@@ -44,7 +44,7 @@ def _as_column(name: str, values) -> np.ndarray:
 class Table:
     """A named bundle of equal-length columns (one MPC record per row)."""
 
-    __slots__ = ("_cols", "_n")
+    __slots__ = ("_cols", "_n", "__weakref__")
 
     def __init__(self, cols: Mapping[str, np.ndarray] | None = None, **kw):
         merged: Dict[str, np.ndarray] = {}
@@ -83,10 +83,15 @@ class Table:
         """An empty table with the given column schema."""
         return Table({k: np.empty(0, dtype=np.dtype(v)) for k, v in schema.items()})
 
+    def _materialize(self) -> "Table":
+        """Concrete columns guaranteed after this call (no-op here;
+        lazy plan-produced tables override it to execute their node)."""
+        return self
+
     @staticmethod
     def concat(tables: Sequence["Table"]) -> "Table":
         """Row-wise concatenation; all tables must share a schema."""
-        tables = [t for t in tables]
+        tables = [t._materialize() for t in tables]
         if not tables:
             raise ValidationError("Table.concat needs at least one table")
         names = list(tables[0]._cols)
@@ -183,6 +188,7 @@ class Table:
         ]
 
     def equals(self, other: "Table") -> bool:
+        other = other._materialize()
         if set(self._cols) != set(other._cols) or self._n != other._n:
             return False
         return all(np.array_equal(self._cols[k], other._cols[k]) for k in self._cols)

@@ -220,6 +220,12 @@ class Pipeline:
             else:
                 mark = rt.tracker.mark()
                 artifact = stage.run(ctx)
+                # stage boundaries are plan flush points: deferred nodes
+                # recorded by this stage execute before its cost delta is
+                # cut, so the replayable CostDelta (charged at logical
+                # record time either way) and the artifact's arrays are
+                # both complete here — warm replays stay bit-identical
+                rt.flush_plan()
                 artifact.cost = rt.tracker.delta_since(mark)
                 if store is not None:
                     store.put(key, artifact)

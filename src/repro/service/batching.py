@@ -41,6 +41,20 @@ class ServiceOverloaded(Exception):
     """Raised at submit time when a shard's queue is at its bound."""
 
 
+def _resolve(fut, payload) -> None:
+    """Resolve a query future, tolerating client-side cancellation.
+
+    A client that stopped waiting (e.g. an ``asyncio.wait_for`` timeout)
+    leaves a *cancelled* — hence done — future in the batch; calling
+    ``set_result`` on it raises ``InvalidStateError``, which the broad
+    per-op handler would then convert into spurious ``internal`` errors
+    for every healthy query co-batched with it. Dropping the orphaned
+    answer is correct: nobody is listening.
+    """
+    if not fut.done():
+        fut.set_result(payload)
+
+
 class MicroBatcher:
     """Collects point queries for one shard and dispatches them bulk."""
 
@@ -140,12 +154,9 @@ class MicroBatcher:
                 self._dispatch_op(op, positions, batch, generation, oracle)
             except Exception as exc:  # noqa: BLE001 - answer, don't die
                 for pos in positions:
-                    fut = batch[pos][3]
-                    if not fut.done():
-                        fut.set_result(
-                            (generation, False,
-                             f"{type(exc).__name__}: {exc}", "internal")
-                        )
+                    _resolve(batch[pos][3],
+                             (generation, False,
+                              f"{type(exc).__name__}: {exc}", "internal"))
         done = time.perf_counter()
         # p50/p99 come from a stride sample (full batches would spend
         # more time bookkeeping latencies than serving large batches)
@@ -167,15 +178,15 @@ class MicroBatcher:
         if op == "sensitivity":
             vals = oracle.sensitivity_bulk(edges).tolist()
             for p, v in zip(positions, vals):
-                batch[p][3].set_result((generation, True, v, None))
+                _resolve(batch[p][3], (generation, True, v, None))
         elif op == "survives":
             ws = [batch[p][2] for p in positions]
             if None in ws:
                 for p, w in zip(list(positions), ws):
                     if w is None:
-                        batch[p][3].set_result(
-                            (generation, False, "survives needs a weight",
-                             "bad-request"))
+                        _resolve(batch[p][3],
+                                 (generation, False,
+                                  "survives needs a weight", "bad-request"))
                 positions = [p for p, w in zip(positions, ws)
                              if w is not None]
                 ws = [w for w in ws if w is not None]
@@ -186,7 +197,7 @@ class MicroBatcher:
             vals = oracle.survives_bulk(
                 edges, np.array(ws, dtype=np.float64)).tolist()
             for p, v in zip(positions, vals):
-                batch[p][3].set_result((generation, True, v, None))
+                _resolve(batch[p][3], (generation, True, v, None))
         elif op == "replacement_edge":
             self._typed(positions, batch, generation, oracle, edges,
                         want_tree=True,
@@ -209,21 +220,21 @@ class MicroBatcher:
         for p, good in zip(positions, ok):
             if not good:
                 self.shard.metrics.type_errors += 1
-                batch[p][3].set_result(
-                    (generation, False,
-                     f"edge {batch[p][1]} is not a {kind} edge", "type"))
+                _resolve(batch[p][3],
+                         (generation, False,
+                          f"edge {batch[p][1]} is not a {kind} edge", "type"))
         keep = [p for p, good in zip(positions, ok) if good]
         if not keep:
             return
         vals = bulk(edges[ok])
         for p, v in zip(keep, vals):
-            batch[p][3].set_result((generation, True, wrap(v), None))
+            _resolve(batch[p][3], (generation, True, wrap(v), None))
 
     def _edge_range_errors(self, positions, batch, generation, oracle):
         for p in positions:
             e = batch[p][1]
             if not 0 <= e < len(oracle):
-                batch[p][3].set_result(
-                    (generation, False,
-                     f"edge index {e} out of range [0, {len(oracle)})",
-                     "range"))
+                _resolve(batch[p][3],
+                         (generation, False,
+                          f"edge index {e} out of range [0, {len(oracle)})",
+                          "range"))

@@ -55,6 +55,37 @@ class TestSensitivityCommand:
         assert code == 0 and "bridges" in text
 
 
+class TestExplainCommand:
+    def test_sensitivity_plan_elides_sorts(self):
+        """Acceptance: the sensitivity pipeline's printed plan must show
+        at least one elided sort (the optimizer firing end-to-end)."""
+        code, text = run_cli(["explain", "--kind", "sensitivity",
+                              "--n", "300"])
+        assert code == 0
+        assert "logical -> physical plan by phase" in text
+        assert "sort(s) elided" in text
+        assert "join(s) fused with reduce" in text
+        totals = text.split("totals:")[1]
+        elided = int(totals.split(" sorts elided")[0].split(",")[-1].strip())
+        assert elided >= 1
+        assert "direct addressing" in totals
+
+    def test_full_listing_shows_nodes(self):
+        code, text = run_cli(["explain", "--kind", "verify", "--n", "100",
+                              "--full"])
+        assert code == 0
+        assert "plan nodes:" in text
+        assert "core/clustering" in text
+
+    def test_distributed_record_mode(self):
+        code, text = run_cli(["explain", "--kind", "verify", "--shape",
+                              "star", "--n", "40", "--extra-m", "60",
+                              "--engine", "distributed", "--delta", "0.6"])
+        assert code == 0
+        assert "sample-sort" in text
+        assert "0 joins answered by direct addressing" in text
+
+
 class TestProfileCommand:
     def test_local_profile_lists_primitives(self):
         code, text = run_cli(["profile", "--kind", "sensitivity",

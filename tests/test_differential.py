@@ -180,6 +180,49 @@ def test_engines_bit_identical_new_families(shape, broken):
         assert sl.rounds == sd.rounds
 
 
+# -- planned vs eager execution (planner/executor split) -----------------------
+
+#: The planner must be a pure physical optimisation: outputs AND the
+#: full CostReport (rounds, per-phase paths, primitive counts, peaks,
+#: transport rounds) bit-identical to the eager engines.
+
+
+def _planned_eager_pair(engine: str, n: int):
+    if engine == "distributed":
+        return (MPCConfig(delta=0.6, planner=True),
+                MPCConfig(delta=0.6, planner=False))
+    return MPCConfig(planner=True), MPCConfig(planner=False)
+
+
+@pytest.mark.parametrize("engine", ("local", "distributed"))
+@pytest.mark.parametrize("n", (512, 1024))
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+def test_planned_eager_bit_identical_sensitivity(engine, n, shape):
+    g, _ = known_mst_instance(shape, n, extra_m=2 * n, rng=n + len(shape))
+    planned_cfg, eager_cfg = _planned_eager_pair(engine, n)
+    sp = mst_sensitivity(g, engine=engine, config=planned_cfg)
+    se = mst_sensitivity(g, engine=engine, config=eager_cfg)
+    np.testing.assert_array_equal(sp.sensitivity, se.sensitivity)
+    np.testing.assert_array_equal(sp.mc, se.mc)
+    np.testing.assert_array_equal(sp.pathmax, se.pathmax)
+    assert sp.report.to_dict() == se.report.to_dict()
+
+
+@pytest.mark.parametrize("engine", ("local", "distributed"))
+@pytest.mark.parametrize("n", (512, 1024))
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+def test_planned_eager_bit_identical_verification(engine, n, shape):
+    g, _ = known_mst_instance(shape, n, extra_m=2 * n, rng=3 * n)
+    g = perturb_break_mst(g, rng=n + 1)
+    planned_cfg, eager_cfg = _planned_eager_pair(engine, n)
+    rp = verify_mst(g, engine=engine, config=planned_cfg)
+    re = verify_mst(g, engine=engine, config=eager_cfg)
+    assert rp.is_mst == re.is_mst
+    np.testing.assert_array_equal(rp.violating_edges, re.violating_edges)
+    np.testing.assert_array_equal(rp.pathmax, re.pathmax)
+    assert rp.report.to_dict() == re.report.to_dict()
+
+
 def test_transport_rounds_deterministic_across_runs():
     """Transport-round counts are part of the engine's contract: two runs
     of the same instance/config must execute the identical exchange

@@ -64,6 +64,21 @@ def _assert_sensitivity_identical(a, b):
 
 
 class TestWarmColdBitIdentity:
+    def test_warm_start_across_planner_modes(self):
+        """Planner on/off is a pure physical choice: artifacts and cost
+        deltas cached by an eager run warm-start a planned run (and vice
+        versa) with bit-identical results and reports."""
+        g = _graph()
+        store = ArtifactStore()
+        eager_cold = mst_sensitivity(
+            g, config=MPCConfig(planner=False), store=store)
+        planned_warm = mst_sensitivity(
+            g, config=MPCConfig(planner=True), store=store)
+        _assert_sensitivity_identical(eager_cold, planned_warm)
+        assert store.hits == 14  # every stage replayed from the eager run
+        planned_cold = mst_sensitivity(g, config=MPCConfig(planner=True))
+        _assert_sensitivity_identical(eager_cold, planned_cold)
+
     @pytest.mark.parametrize("engine,config", [
         ("local", None), ("distributed", DIST_CFG),
     ])

@@ -297,6 +297,52 @@ class TestLoadShedding:
         assert shard0["shed"] == len(sheds)
 
 
+class TestClientCancellation:
+    def test_cancelled_query_does_not_poison_batch_mates(self):
+        """Regression: a client that stops waiting (``asyncio.wait_for``
+        timeout) leaves a cancelled future inside a live batch;
+        ``set_result`` on it used to raise ``InvalidStateError``, and the
+        per-op error handler then failed every co-batched healthy query
+        of that op with a spurious ``internal`` error."""
+        g = make_graph(n=120, seed=9)
+
+        async def scenario():
+            svc = await started_service(
+                g, shards=1, max_batch=64, batch_window_s=0.1,
+            )
+            client = ServiceClient(svc)
+            edges = [e for e in range(16)]
+
+            async def impatient(e):
+                # cancelled long before the 0.1s batching window closes
+                try:
+                    return await asyncio.wait_for(
+                        client.call("sensitivity", edge=e), timeout=0.01)
+                except asyncio.TimeoutError:
+                    return {"timed_out": True}
+
+            # the doomed query must enqueue *first*: only batch-mates
+            # ordered after the cancelled future were poisoned
+            first = asyncio.ensure_future(impatient(edges[0]))
+            for _ in range(4):   # let wait_for's inner task reach submit
+                await asyncio.sleep(0)
+            rest = [asyncio.ensure_future(client.call("sensitivity", edge=e))
+                    for e in edges[1:]]
+            results = await asyncio.gather(first, *rest)
+            metrics = await client.metrics()
+            await svc.stop()
+            return results, metrics
+
+        results, _ = run(scenario())
+        assert results[0] == {"timed_out": True}
+        oracle = build_oracle(g)
+        for e, resp in zip([e for e in range(16)][1:], results[1:]):
+            assert resp.get("ok"), resp  # batch-mates must still succeed
+            assert resp.get("error_kind") is None
+            assert resp["result"] == pytest.approx(
+                float(oracle.sensitivity_bulk(np.array([e]))[0]))
+
+
 class TestUpdatePath:
     def test_preserving_update_runs_zero_stages(self):
         g = make_graph(n=200, seed=13)
