@@ -19,10 +19,10 @@ The ``python -m repro batch`` subcommand wraps this module; library use::
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-from dataclasses import asdict, dataclass, field, replace
+import traceback as _traceback
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -98,7 +98,12 @@ class JobResult:
     engine: str
     break_mst: bool
     ok: bool
+    #: ``"ok"`` | ``"error"`` (the job raised; ``error``/``traceback``
+    #: carry the details) | ``"crashed"`` (the worker process died —
+    #: synthesized by the parent, the job never reported back)
+    status: str = "ok"
     error: Optional[str] = None
+    traceback: Optional[str] = None
     is_mst: Optional[bool] = None
     n_violations: Optional[int] = None
     rounds: Optional[int] = None
@@ -166,7 +171,9 @@ def _execute_job(payload: Tuple[int, JobSpec, Optional[MPCConfig],
         out.diameter_estimate = r.diameter_estimate
         out.ok = True
     except Exception as exc:  # noqa: BLE001 - report, don't kill the pool
+        out.status = "error"
         out.error = f"{type(exc).__name__}: {exc}"
+        out.traceback = _traceback.format_exc()
     if store is not None:
         out.cache_hits = store.hits
     out.wall_s = round(time.perf_counter() - t0, 4)
@@ -177,8 +184,15 @@ class BatchRunner:
     """Execute many jobs against a shared :class:`MPCConfig`.
 
     ``processes=1`` runs inline (no pool — handy under debuggers and in
-    tests); otherwise a ``multiprocessing`` pool is used and results come
-    back in submission order regardless of completion order.
+    tests); otherwise jobs run on the shared fault-isolated
+    :class:`~repro.mpc.parallel.WorkerPool` (the same pool the process
+    executor uses, started from an explicit forkserver/spawn context —
+    never implicit ``fork``, which would snapshot live service threads
+    and event loops) and results come back in submission order
+    regardless of completion order. Per-job failures are *contained*:
+    a raising job returns a ``status="error"`` result with its
+    traceback, a worker crash returns ``status="crashed"``, and every
+    other job's result is delivered normally.
 
     ``cache_dir`` enables warm-starting: every worker reads/writes a
     persistent :class:`~repro.pipeline.ArtifactStore` there, so jobs
@@ -207,8 +221,30 @@ class BatchRunner:
         procs = self.processes or min(len(payloads), os.cpu_count() or 1)
         if procs <= 1 or len(payloads) <= 1:
             return [_execute_job(p) for p in payloads]
-        with multiprocessing.Pool(processes=procs) as pool:
-            return pool.map(_execute_job, payloads, chunksize=1)
+        from .mpc.parallel import get_pool
+
+        pool = get_pool(procs)
+        outcomes = pool.map(
+            "call",
+            [("repro.batch", "_execute_job", p) for p in payloads],
+        )
+        results = []
+        for payload, o in zip(payloads, outcomes):
+            if o.ok:
+                results.append(o.value)
+            else:
+                # the job never produced a JobResult (worker crash, or a
+                # dispatch-layer failure): synthesize one so sibling
+                # results survive and the failure stays visible
+                job_id, spec = payload[0], payload[1]
+                results.append(JobResult(
+                    job_id=job_id, kind=spec.kind, shape=spec.shape,
+                    n=spec.n, m=0, seed=spec.seed, engine=spec.engine,
+                    break_mst=spec.break_mst, ok=False,
+                    status="crashed" if o.crashed else "error",
+                    error=o.error, traceback=o.traceback,
+                ))
+        return results
 
 
 def make_workload(

@@ -461,7 +461,8 @@ def cmd_batch(args, out) -> int:
                            for f in RECORD_FIELDS] for rec in records])
     else:
         cols = ["job_id", "kind", "shape", "n", "m", "engine", "ok",
-                "is_mst", "rounds", "core_rounds", "peak_words", "wall_s"]
+                "status", "is_mst", "rounds", "core_rounds", "peak_words",
+                "wall_s"]
         payload = render_table(
             cols, [[rec[c] if rec[c] is not None else "-" for c in cols]
                    for rec in records],
@@ -484,7 +485,8 @@ def cmd_batch(args, out) -> int:
     summary.write(f"\njobs: {len(results)} total, "
                   f"{len(results) - len(failed)} ok, {len(failed)} failed\n")
     for r in failed[:5]:
-        summary.write(f"  job {r.job_id} [{r.kind}/{r.shape}]: {r.error}\n")
+        summary.write(f"  job {r.job_id} [{r.kind}/{r.shape}] "
+                      f"{r.status}: {r.error}\n")
     if args.persist_oracles:
         saved = sum(1 for r in results if r.oracle_path)
         summary.write(f"persisted {saved} oracles to {args.persist_oracles}\n")

@@ -50,3 +50,18 @@ class KeyPackingError(ReproError):
 class ProtocolError(ReproError):
     """A runtime primitive was called with inconsistent arguments
     (e.g. a lookup against a table with duplicate keys)."""
+
+
+class ExecutorError(ReproError):
+    """The process-parallel physical executor could not serve a request
+    (pool closed, worker handshake timeout, malformed dispatch)."""
+
+
+class WorkerCrashed(ExecutorError):
+    """A pool worker process died while executing a task.
+
+    The pool converts this into a failed :class:`repro.mpc.parallel.
+    Outcome` (and respawns the slot) rather than raising, so one crash
+    never discards sibling tasks' results; callers that *want* the
+    exception re-raise from the outcome.
+    """

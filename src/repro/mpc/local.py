@@ -14,6 +14,13 @@ invokes after logical charging, optionally with a precomputed
 :class:`~repro.mpc.optimizer.JoinPlan` carrying the optimizer's
 physical-operator choice. Both paths share the result-assembly code, so
 planned and eager outputs are bit-identical by construction.
+
+Because this engine declares the ``rewrite`` capability,
+``MPCConfig(executor="process")`` additionally routes flushed plan
+segments through the process-parallel executor
+(:mod:`~repro.mpc.parallel`): independent deferred sorts run in pool
+workers over shared-memory column buffers, with the elision decisions —
+and the charged cost stream — unchanged.
 """
 
 from __future__ import annotations

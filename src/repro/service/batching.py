@@ -72,6 +72,7 @@ class MicroBatcher:
         # several times a deque append
         self._items: deque = deque()
         self._wake = asyncio.Event()
+        self._close_wake = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
         self._closing = False
 
@@ -114,10 +115,16 @@ class MicroBatcher:
             self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def stop(self) -> None:
-        """Drain queued queries, then stop the worker."""
+        """Drain queued queries, then stop the worker — promptly.
+
+        ``_close_wake`` cuts short a fill window already in progress:
+        without it, a ``stop()`` issued mid-window would still sleep
+        the full ``window_s`` before the drain batch dispatches.
+        """
         if self._task is None:
             return
         self._closing = True
+        self._close_wake.set()
         self._wake.set()
         await self._task
         self._task = None
@@ -132,11 +139,18 @@ class MicroBatcher:
                 await self._wake.wait()
                 continue
             if (self.window_s > 0 and self.max_batch > 1
-                    and len(items) < self.max_batch):
+                    and len(items) < self.max_batch
+                    and not self._closing):
                 # let concurrently-submitting clients fill the window;
                 # a backlog already holding a full batch dispatches
-                # immediately (the window buys occupancy, not delay)
-                await asyncio.sleep(self.window_s)
+                # immediately (the window buys occupancy, not delay).
+                # The wait (not a plain sleep) aborts the instant
+                # stop() sets the close event, so shutdown drains now
+                try:
+                    await asyncio.wait_for(self._close_wake.wait(),
+                                           self.window_s)
+                except asyncio.TimeoutError:
+                    pass
             n = min(len(items), self.max_batch)
             batch = [items.popleft() for _ in range(n)]
             self._dispatch(batch)

@@ -283,9 +283,28 @@ async def _main_async(args) -> int:
                 return 1
             await asyncio.sleep(0.2)
     writer.write(b'{"op": "instances"}\n')
-    await writer.drain()
-    desc = json.loads(await reader.readline())
+    # a server that accepts but never answers (wedged event loop, wrong
+    # protocol on the port) must not hang the client forever: bound the
+    # handshake read by the same budget as the connection itself. A
+    # reset mid-handshake (server slammed the door) is the same story.
+    try:
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(),
+                                      args.connect_timeout)
+    except asyncio.TimeoutError:
+        print(f"server at {args.host}:{args.port} accepted the connection "
+              f"but did not answer the instances handshake within "
+              f"{args.connect_timeout:.0f}s", file=sys.stderr)
+        writer.close()
+        return 1
+    except OSError:
+        line = b""  # dropped mid-handshake: same as closing cleanly
     writer.close()
+    if not line:
+        print(f"server at {args.host}:{args.port} closed the connection "
+              f"during the instances handshake", file=sys.stderr)
+        return 1
+    desc = json.loads(line)
     if not desc.get("ok"):
         print(f"instances query failed: {desc}", file=sys.stderr)
         return 1

@@ -98,6 +98,61 @@ class TestBatchRunner:
         assert results[0].ok
         assert not results[1].ok and results[1].error
 
+    def test_error_jobs_carry_status_and_traceback(self):
+        """Failed jobs are structured: status + the worker traceback,
+        not just a one-line message."""
+        jobs = [JobSpec(kind="verify", n=40, extra_m=-5, seed=0)]
+        (res,) = BatchRunner(processes=1).run(jobs)
+        assert res.status == "error"
+        assert res.traceback and "Traceback" in res.traceback
+        assert res.error in res.traceback.splitlines()[-1]
+        # the ok path reports status="ok" with no traceback
+        (good,) = BatchRunner(processes=1).run(
+            [JobSpec(kind="verify", n=40, seed=0)])
+        assert good.status == "ok" and good.traceback is None
+
+    def test_one_bad_job_never_discards_siblings(self):
+        """Fault isolation across the pool: a raising job comes back as
+        a structured error result, every sibling's result is intact."""
+        jobs = [JobSpec(kind="verify", n=40, seed=0),
+                JobSpec(kind="verify", n=40, extra_m=-5, seed=1),
+                JobSpec(kind="sensitivity", n=40, seed=2)]
+        results = BatchRunner(processes=2).run(jobs)
+        assert [r.job_id for r in results] == [0, 1, 2]
+        assert results[0].ok and results[2].ok
+        bad = results[1]
+        assert not bad.ok and bad.status == "error"
+        assert bad.traceback and "Traceback" in bad.traceback
+        inline = BatchRunner(processes=1).run(jobs)
+        assert strip_wall(results) == strip_wall(inline)
+
+    def test_worker_crash_synthesizes_crashed_result(self, monkeypatch):
+        """A worker process dying mid-job (not a Python exception — the
+        job never reports back) yields a status="crashed" JobResult in
+        the right slot; siblings are delivered normally."""
+        from repro.mpc.parallel import Outcome, WorkerPool
+
+        orig = WorkerPool.map
+
+        def lossy(self, kind, payloads, max_inflight=None):
+            outs = orig(self, kind, payloads, max_inflight)
+            outs[1] = Outcome(ok=False, crashed=True,
+                              error="worker 0 died (exitcode 9) "
+                                    "while executing task 1")
+            return outs
+
+        monkeypatch.setattr(WorkerPool, "map", lossy)
+        jobs = make_workload(count=3, n=40, base_seed=6)
+        results = BatchRunner(processes=2).run(jobs)
+        assert results[0].ok and results[2].ok
+        crashed = results[1]
+        assert not crashed.ok and crashed.status == "crashed"
+        assert "died" in crashed.error
+        # the synthesized result still carries the job identity
+        assert (crashed.job_id, crashed.kind, crashed.shape,
+                crashed.seed) == (1, jobs[1].kind, jobs[1].shape,
+                                  jobs[1].seed)
+
     def test_persisted_oracles_rehydrate(self, tmp_path):
         jobs = [JobSpec(kind="sensitivity", shape="binary", n=63,
                         extra_m=120, seed=13)]

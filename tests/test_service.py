@@ -16,8 +16,10 @@ The load-bearing claims:
 * mmap-shared shard oracles answer identically to in-memory ones.
 """
 
+import argparse
 import asyncio
 import json
+import time
 
 import numpy as np
 import pytest
@@ -622,3 +624,73 @@ class TestServeProcess:
         run(scenario())
         snaps = sorted(os.listdir(tmp_path))
         assert snaps == ["default-gen0002.npz"]
+
+
+class TestShutdownLatency:
+    def test_stop_mid_window_is_prompt(self):
+        """stop() issued while a batcher sits inside its fill window
+        must cut the window short: the queued query still answers, and
+        the whole shutdown lands well under window_s."""
+        g = make_graph(n=120, seed=37)
+
+        async def scenario():
+            svc = await started_service(g, shards=1, batch_window_s=0.5)
+            q = asyncio.get_running_loop().create_task(
+                svc.query("sensitivity", 0))
+            await asyncio.sleep(0.05)  # the worker is now mid-window
+            t0 = time.perf_counter()
+            await svc.stop()
+            stopped_in = time.perf_counter() - t0
+            return stopped_in, await q
+
+        stopped_in, ans = run(scenario())
+        assert ans["ok"]
+        assert stopped_in < 0.25  # far below the 0.5s fill window
+
+
+class TestLoadgenHandshake:
+    """The discovery handshake must never hang the load generator."""
+
+    def _args(self, port, timeout=0.5):
+        return argparse.Namespace(host="127.0.0.1", port=port, queries=10,
+                                  clients=2, seed=0, connect_timeout=timeout,
+                                  shutdown=False)
+
+    def test_mute_server_times_out_with_exit_1(self, capsys):
+        from repro.service.loadgen import _main_async
+
+        async def scenario():
+            async def mute(reader, writer):
+                await reader.read()  # consume everything, answer nothing
+                writer.close()
+
+            server = await asyncio.start_server(mute, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await _main_async(self._args(port))
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        assert run(scenario()) == 1
+        err = capsys.readouterr().err
+        assert "did not answer the instances handshake" in err
+
+    def test_slammed_connection_exits_1(self, capsys):
+        from repro.service.loadgen import _main_async
+
+        async def scenario():
+            async def slam(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(slam, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await _main_async(self._args(port))
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        assert run(scenario()) == 1
+        err = capsys.readouterr().err
+        assert "closed the connection during the instances handshake" in err
