@@ -11,7 +11,10 @@ Commands
 ``pipeline``     print the stage DAG plan (and run it, warm-starting
                  from an artifact cache)
 ``batch``        fan a mixed verify/sensitivity workload over a process pool
-``serve``        run the sharded micro-batching query service (S19)
+``serve``        run the sharded micro-batching query service (S19);
+                 ``--workers N`` scales out through the router tier
+``route``        run the router tier: front door + consistent-hash
+                 placement over N worker processes (S22)
 ``sweep``        the headline experiment: rounds vs candidate-tree diameter
 ``lower-bound``  the Theorem 5.2 hard family
 
@@ -26,6 +29,8 @@ Examples::
     python -m repro batch --jobs 12 --format json --out report.json
     python -m repro batch --jobs 6 --persist-oracles /tmp/oracles
     python -m repro serve --shapes random,grid,power_law --n 2000 --shards 4
+    python -m repro serve --workers 4 --n 2000            # router scale-out
+    python -m repro route --workers 4 --replication 2 --port 7465
     python -m repro sweep --n 4096 --diameters 8,32,128,512
     python -m repro lower-bound --sizes 64,256,1024
 """
@@ -178,6 +183,49 @@ def build_parser() -> argparse.ArgumentParser:
                     help="persistent artifact store for incremental rebuilds")
     sp.add_argument("--mmap-dir", type=str, default=None, metavar="DIR",
                     help="share oracle snapshots across shards via mmap")
+    sp.add_argument("--workers", type=int, default=1,
+                    help="worker processes; >1 runs the router tier "
+                         "(equivalent to `repro route`)")
+    sp.add_argument("--replication", type=int, default=2,
+                    help="replicas per instance when --workers > 1")
+
+    sp = sub.add_parser(
+        "route",
+        help="router tier: front door + placement over N worker processes",
+    )
+    sp.add_argument("--shapes", type=str, default="random",
+                    help="comma-separated tree shapes; one named instance "
+                         "per shape")
+    sp.add_argument("--n", type=int, default=1000)
+    sp.add_argument("--extra-m", type=int, default=None,
+                    help="non-tree edges per instance (default 2n)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--engine", choices=["local", "distributed"],
+                    default="local")
+    sp.add_argument("--delta", type=float, default=0.35)
+    sp.add_argument("--host", type=str, default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=7465,
+                    help="front-door TCP port (0 picks a free one)")
+    sp.add_argument("--workers", type=int, default=2,
+                    help="worker processes behind the router")
+    sp.add_argument("--replication", type=int, default=2,
+                    help="replicas per instance (capped at --workers)")
+    sp.add_argument("--shards", type=int, default=2,
+                    help="edge-range shards per instance, per worker")
+    sp.add_argument("--max-batch", type=int, default=512)
+    sp.add_argument("--window-ms", type=float, default=2.0,
+                    help="micro-batch latency window")
+    sp.add_argument("--queue-depth", type=int, default=4096,
+                    help="per-shard queue bound before load-shedding")
+    sp.add_argument("--query-links", type=int, default=2,
+                    help="pipelined query connections per worker")
+    sp.add_argument("--shed-watermark", type=float, default=0.9,
+                    help="queue-depth fraction that trips router-tier shed")
+    sp.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                    help="per-worker artifact store root for rebuilds")
+    sp.add_argument("--mmap-dir", type=str, default=None, metavar="DIR",
+                    help="snapshot spool shared by router and workers "
+                         "(default: a private tempdir)")
 
     sp = sub.add_parser("sweep", help="rounds vs D_T experiment")
     sp.add_argument("--n", type=int, default=4096)
@@ -493,11 +541,77 @@ def cmd_batch(args, out) -> int:
     return 0 if not failed else 1
 
 
+def _serve_shapes(args):
+    shapes = [s.strip() for s in args.shapes.split(",") if s.strip()]
+    for s in shapes:
+        if s not in TREE_SHAPES:
+            raise ValidationError(f"unknown tree shape {s!r}")
+    if not shapes:
+        raise ValidationError("serve needs at least one shape")
+    return shapes
+
+
+def cmd_route(args, out) -> int:
+    import asyncio
+
+    from .service import RouterConfig, RouterTier
+
+    shapes = _serve_shapes(args)
+    extra = args.extra_m if args.extra_m is not None else 2 * args.n
+    cfg = RouterConfig(
+        workers=args.workers, replication=args.replication,
+        shards=args.shards, max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1e3, queue_depth=args.queue_depth,
+        engine=args.engine, delta=args.delta,
+        host=args.host, port=args.port,
+        mmap_dir=args.mmap_dir, cache_dir=args.cache_dir,
+        # `serve --workers N` delegates here without the router-only flags
+        query_links=getattr(args, "query_links", 2),
+        shed_watermark=getattr(args, "shed_watermark", 0.9),
+    )
+
+    async def run() -> None:
+        router = RouterTier(cfg)
+        await router.start(serve_tcp=True)
+        out.write(f"router up: {cfg.workers} worker processes, "
+                  f"replication {min(cfg.replication, cfg.workers)}\n")
+        for i, shape in enumerate(shapes):
+            g, _ = known_mst_instance(shape, args.n, extra_m=extra,
+                                      rng=args.seed + 101 * i)
+            info = await router.add_instance(shape, g)
+            out.write(f"instance {shape}: n={g.n} m={g.m} "
+                      f"replicas={info['replicas']} "
+                      f"snapshot={info['digest'][:16]}\n")
+        host, port = router.tcp_address
+        out.write(f"listening on {host}:{port} "
+                  f"(JSON-lines; ops: sensitivity survives replacement_edge "
+                  f"entry_threshold update metrics instances ping shutdown)\n")
+        if hasattr(out, "flush"):
+            out.flush()
+        try:
+            await router.serve_forever()
+        finally:
+            m = await router.router_metrics()
+            await router.stop()
+            out.write(f"forwarded {m['router']['forwarded']} queries "
+                      f"({m['qps']} worker qps over {m['uptime_s']}s), "
+                      f"shed {m['router']['shed_router']} at router, "
+                      f"shipped {m['router']['swaps_shipped']} swaps\n")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        out.write("interrupted\n")
+    return 0
+
+
 def cmd_serve(args, out) -> int:
     import asyncio
 
     from .service import SensitivityService, ServiceConfig
 
+    if getattr(args, "workers", 1) > 1:
+        return cmd_route(args, out)
     shapes = [s.strip() for s in args.shapes.split(",") if s.strip()]
     for s in shapes:
         if s not in TREE_SHAPES:
@@ -591,6 +705,7 @@ def main(argv=None, out=None) -> int:
             "pipeline": cmd_pipeline,
             "batch": cmd_batch,
             "serve": cmd_serve,
+            "route": cmd_route,
             "sweep": cmd_sweep,
             "lower-bound": cmd_lower_bound,
         }[args.command](args, out)

@@ -65,3 +65,21 @@ class WorkerCrashed(ExecutorError):
     never discards sibling tasks' results; callers that *want* the
     exception re-raise from the outcome.
     """
+
+
+class ServiceError(ReproError):
+    """A serving-layer request could not be completed.
+
+    Structured replacement for transport exceptions leaking out of
+    service clients: ``kind`` classifies the failure so callers (the
+    router tier in particular) branch on it instead of matching error
+    strings.
+
+    Kinds: ``"disconnected"`` (the peer dropped the connection
+    mid-call), ``"response"`` (the peer answered with an error
+    response), ``"protocol"`` (unparseable response line).
+    """
+
+    def __init__(self, message: str, kind: str = "response"):
+        self.kind = kind
+        super().__init__(message)

@@ -24,6 +24,7 @@ Two serving-layer extensions:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 import zipfile
@@ -31,7 +32,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["META_KEY", "save_npz", "load_npz"]
+__all__ = ["META_KEY", "save_npz", "load_npz", "file_digest"]
 
 META_KEY = "__meta__"
 
@@ -47,6 +48,25 @@ def save_npz(path, arrays: Dict[str, Optional[np.ndarray]], meta: Dict,
     save = np.savez_compressed if compressed else np.savez
     with open(path, "wb") as fh:
         save(fh, **payload)
+
+
+def file_digest(path, algorithm: str = "sha256",
+                chunk_size: int = 1 << 20) -> str:
+    """Streaming content digest of ``path`` (hex).
+
+    The address of a shipped snapshot: the router tier names oracle
+    snapshot files by their digest and replicas verify the bytes they
+    map against the digest the router advertised, so a half-written or
+    superseded file can never be adopted as a generation.
+    """
+    h = hashlib.new(algorithm)
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
 
 
 def _member_data_offset(fh, info: zipfile.ZipInfo) -> int:

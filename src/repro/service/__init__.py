@@ -9,23 +9,41 @@ re-pricings are triaged against the oracle's own thresholds into
 in-place patches or incremental pipeline rebuilds with an atomic
 generation swap. See DESIGN.md §"S19 service layer".
 
-Entry points: ``python -m repro serve`` (TCP JSON-lines),
-:class:`ServiceClient` (in-process), :mod:`repro.service.loadgen`.
+The router tier (S22) scales this horizontally: :class:`RouterTier`
+owns the public TCP listener, places instances onto N worker
+processes by rendezvous hashing (:class:`Placement`), fans reads out
+over replicas, propagates backpressure, and ships rebuilt generations
+to replicas as digest-addressed snapshot files instead of repeating
+the rebuild. See DESIGN.md §6.2.
+
+Entry points: ``python -m repro serve`` / ``python -m repro route``
+(TCP JSON-lines), :class:`ServiceClient` (in-process or TCP),
+:mod:`repro.service.loadgen`.
 """
 
 from .batching import QUERY_OPS, MicroBatcher, ServiceOverloaded
-from .metrics import LatencyReservoir, ShardMetrics, UpdateMetrics
+from .metrics import (LatencyReservoir, RouterMetrics, ShardMetrics,
+                      UpdateMetrics, merged_latency)
+from .placement import Placement
+from .router import RouterConfig, RouterTier, WorkerLink
 from .server import SensitivityService, ServiceClient, ServiceConfig
 from .shards import OracleShard, ShardSpec, plan_shards, route
 from .updates import InstanceUpdater, UpdateReport
+from .worker_proc import WorkerSpec, WorkerService, worker_entry
 
 __all__ = [
     "QUERY_OPS",
     "MicroBatcher",
     "ServiceOverloaded",
     "LatencyReservoir",
+    "RouterMetrics",
     "ShardMetrics",
     "UpdateMetrics",
+    "merged_latency",
+    "Placement",
+    "RouterConfig",
+    "RouterTier",
+    "WorkerLink",
     "SensitivityService",
     "ServiceClient",
     "ServiceConfig",
@@ -35,4 +53,7 @@ __all__ = [
     "route",
     "InstanceUpdater",
     "UpdateReport",
+    "WorkerSpec",
+    "WorkerService",
+    "worker_entry",
 ]

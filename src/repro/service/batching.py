@@ -76,6 +76,11 @@ class MicroBatcher:
         self._task: Optional[asyncio.Task] = None
         self._closing = False
 
+    @property
+    def depth(self) -> int:
+        """Currently queued (not yet dispatched) queries."""
+        return len(self._items)
+
     # -- client side -----------------------------------------------------------
 
     def submit(self, op: str, edge: int, weight: Optional[float] = None

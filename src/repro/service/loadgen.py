@@ -9,12 +9,28 @@ shed rate and latency percentiles. Two transports behind one engine:
   benchmark and tests);
 * ``run_tcp(host, port, ...)`` — JSON-lines over ``clients`` real
   connections (the CI smoke step), with connect retries so it can be
-  started alongside the server.
+  started alongside the server. ``pipeline > 1`` keeps that many
+  requests in flight per connection — the server answers in request
+  order, so responses correlate positionally (no request ids).
+
+One driver process saturates around one core of ``json.dumps``; the
+``--procs N`` mode forks N whole loadgen processes (same explicit
+multiprocessing context as the compute pool), each driving its own
+seeded slice of the plan, and merges their :class:`LoadStats` through
+a summary pipe — the client-side mirror of the router's worker fleet.
+
+``--live-update`` exercises the zero-downtime path while the storm is
+running: a side connection probes tree edges until one update reports
+``action == "rebuilt"`` (bridges report ``patched`` and are skipped),
+which on a router deployment forces a digest-shipped generation swap
+under load. The run fails if any query fails around the swap.
 
 CLI (used by CI)::
 
     python -m repro.service.loadgen --port 7464 --queries 3000 \
         --clients 16 --shutdown
+    python -m repro.service.loadgen --port 7465 --queries 5000 \
+        --procs 2 --pipeline 32 --live-update --shutdown
 
 Exit status is non-zero when nothing was served or any transport-level
 error occurred (wrong-edge-kind responses are the service answering
@@ -32,7 +48,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["QueryPlan", "make_plan", "run_inprocess", "run_tcp", "main"]
+__all__ = ["QueryPlan", "make_plan", "run_inprocess", "run_tcp",
+           "run_procs", "live_update", "main"]
 
 #: op → relative frequency in the default mix.
 DEFAULT_MIX = (
@@ -131,6 +148,26 @@ class LoadStats:
             "p99_ms": round(float(np.percentile(lats, 99)) * 1e3, 3)
             if len(lats) else None,
         }
+
+    @classmethod
+    def merge(cls, parts: Sequence["LoadStats"]) -> "LoadStats":
+        """Fold concurrent runs into one: counters sum, walls overlap.
+
+        The parts ran side by side, so the merged wall is the longest
+        part (aggregate qps = total answered / overlapped wall), and
+        the latency pools concatenate — the same percentile-of-pooled
+        rule as :func:`~repro.service.metrics.merged_latency`.
+        """
+        out = cls()
+        for s in parts:
+            out.sent += s.sent
+            out.answered += s.answered
+            out.shed += s.shed
+            out.type_errors += s.type_errors
+            out.errors += s.errors
+            out.wall_s = max(out.wall_s, s.wall_s)
+            out.latencies.extend(s.latencies)
+        return out
 
 
 async def _drive(submit, plan: QueryPlan, clients: int) -> LoadStats:
@@ -232,8 +269,19 @@ async def run_inprocess(service, plan: QueryPlan, clients: int = 64,
 
 async def run_tcp(host: str, port: int, plan: QueryPlan, clients: int = 16,
                   connect_timeout_s: float = 15.0,
-                  shutdown: bool = False) -> LoadStats:
-    """Drive a remote service over ``clients`` JSON-lines connections."""
+                  shutdown: bool = False, pipeline: int = 1) -> LoadStats:
+    """Drive a remote service over ``clients`` JSON-lines connections.
+
+    ``pipeline > 1`` writes that many requests per connection before
+    reading the responses back. The service (and router) answer a
+    connection strictly in request order, so the k-th response line
+    belongs to the k-th request of the chunk — deep pipelining with
+    positional correlation, which is also what lets the server's
+    micro-batcher see whole chunks instead of one query per RTT.
+    Per-query latency is then chunk-granular, so percentiles are
+    reported over chunk round-trips divided by chunk size (mean
+    in-chunk), not individual RTTs.
+    """
     conns = []
     deadline = time.perf_counter() + connect_timeout_s
     for _ in range(max(1, clients)):
@@ -258,14 +306,176 @@ async def run_tcp(host: str, port: int, plan: QueryPlan, clients: int = 16,
             return {"ok": False, "error": "connection closed"}
         return json.loads(line)
 
+    async def drive_pipelined() -> LoadStats:
+        stats = LoadStats()
+        counter = {"next": 0}
+        total = len(plan)
+
+        async def worker(wid: int) -> None:
+            reader, writer = conns[wid % len(conns)]
+            while True:
+                i0 = counter["next"]
+                if i0 >= total:
+                    return
+                i1 = min(i0 + pipeline, total)
+                counter["next"] = i1
+                chunk = [plan.request(i) for i in range(i0, i1)]
+                t0 = time.perf_counter()
+                writer.write(
+                    "".join(json.dumps(r) + "\n" for r in chunk).encode())
+                try:
+                    await writer.drain()
+                    lines = [await reader.readline() for _ in chunk]
+                except (ConnectionError, OSError):
+                    lines = [b""] * len(chunk)
+                per_query = (time.perf_counter() - t0) / len(chunk)
+                for line in lines:
+                    if not line:
+                        stats.sent += 1
+                        stats.errors += 1
+                        continue
+                    stats.tally(json.loads(line), per_query)
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*(worker(w) for w in range(len(conns))))
+        stats.wall_s = time.perf_counter() - t0
+        return stats
+
     try:
-        stats = await _drive(submit, plan, len(conns))
+        if pipeline > 1:
+            stats = await drive_pipelined()
+        else:
+            stats = await _drive(submit, plan, len(conns))
         if shutdown:
             await submit(0, {"op": "shutdown"})
     finally:
         for _, writer in conns:
             writer.close()
     return stats
+
+
+async def live_update(host: str, port: int, instance: str, m_tree: int,
+                      delay_s: float = 0.0, max_probes: int = 24) -> Dict:
+    """Force one structure-changing update against a live deployment.
+
+    Probes tree edges (they sort first in every generator layout) with
+    a small weight drop — lowering a tree edge always survives — until
+    the service reports ``action == "rebuilt"``: on a router that is
+    the rebuild-once-on-primary, digest-ship-to-replicas path. Bridge
+    edges report ``patched`` (nothing covers them) and are skipped.
+    """
+    if delay_s > 0:
+        await asyncio.sleep(delay_s)
+    reader, writer = await asyncio.open_connection(host, port)
+    report: Dict = {"ok": False, "action": None, "probes": 0}
+    try:
+        for edge in range(min(max_probes, m_tree)):
+            req = {"op": "update", "instance": instance, "edge": edge,
+                   "weight": 1e-6 * (edge + 1)}
+            writer.write((json.dumps(req) + "\n").encode())
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                report["error"] = "connection closed during update"
+                return report
+            resp = json.loads(line)
+            report["probes"] += 1
+            if resp.get("action") == "rebuilt":
+                report.update(
+                    ok=True, action="rebuilt", edge=edge,
+                    generation=resp.get("generation"),
+                    shipped_to=resp.get("shipped_to"),
+                    snapshot_digest=(resp.get("snapshot_digest") or "")[:16],
+                )
+                return report
+        report["error"] = (f"no rebuild-forcing edge in the first "
+                           f"{report['probes']} tree edges")
+        return report
+    finally:
+        writer.close()
+
+
+def _proc_entry(conn, kwargs: Dict) -> None:
+    """One forked loadgen process: drive a seeded slice, pipe stats up."""
+    async def go() -> None:
+        plan = make_plan(kwargs["instances"], kwargs["queries"],
+                         seed=kwargs["seed"])
+        stats = await run_tcp(
+            kwargs["host"], kwargs["port"], plan,
+            clients=kwargs["clients"],
+            connect_timeout_s=kwargs["connect_timeout_s"],
+            pipeline=kwargs["pipeline"],
+        )
+        conn.send({
+            "sent": stats.sent, "answered": stats.answered,
+            "shed": stats.shed, "type_errors": stats.type_errors,
+            "errors": stats.errors, "wall_s": stats.wall_s,
+            "latencies": stats.latencies,
+        })
+
+    try:
+        asyncio.run(go())
+    except Exception as exc:  # noqa: BLE001 - the parent tallies it
+        conn.send({"error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+async def run_procs(host: str, port: int, instances: Dict[str, int],
+                    queries: int, procs: int, clients: int = 16,
+                    seed: int = 0, pipeline: int = 1,
+                    connect_timeout_s: float = 15.0) -> LoadStats:
+    """Fork ``procs`` loadgen processes and merge their LoadStats.
+
+    Each child draws its own plan (``seed + 1000 * proc_id``) over an
+    equal share of ``queries`` and drives it over its own connections;
+    summaries come back over a pipe. A child that dies (or reports a
+    transport failure) is folded in as errors, not dropped — the merged
+    exit criteria still see it.
+    """
+    from ..mpc.parallel import get_context
+
+    ctx = get_context()
+    share = max(1, queries // max(1, procs))
+    kids = []
+    for pid in range(max(1, procs)):
+        parent_conn, child_conn = ctx.Pipe()
+        kw = {"host": host, "port": port, "instances": instances,
+              "queries": share, "clients": clients,
+              "seed": seed + 1000 * pid, "pipeline": pipeline,
+              "connect_timeout_s": connect_timeout_s}
+        p = ctx.Process(target=_proc_entry, args=(child_conn, kw),
+                        daemon=True)
+        p.start()
+        child_conn.close()
+        kids.append((p, parent_conn))
+    loop = asyncio.get_running_loop()
+    parts = []
+    for p, conn in kids:
+        try:
+            msg = await loop.run_in_executor(None, conn.recv)
+        except EOFError:
+            msg = {"error": "loadgen child died without reporting"}
+        finally:
+            conn.close()
+        part = LoadStats()
+        if "error" in msg:
+            part.sent = share
+            part.errors = share  # the whole share counts as failed
+        else:
+            part.sent = msg["sent"]
+            part.answered = msg["answered"]
+            part.shed = msg["shed"]
+            part.type_errors = msg["type_errors"]
+            part.errors = msg["errors"]
+            part.wall_s = msg["wall_s"]
+            part.latencies = msg["latencies"]
+        parts.append(part)
+    for p, _ in kids:
+        await loop.run_in_executor(None, p.join, 10.0)
+        if p.is_alive():  # pragma: no cover - wedged child
+            p.terminate()
+    return LoadStats.merge(parts)
 
 
 async def _main_async(args) -> int:
@@ -308,20 +518,61 @@ async def _main_async(args) -> int:
     if not desc.get("ok"):
         print(f"instances query failed: {desc}", file=sys.stderr)
         return 1
-    instances = {name: info["m"] for name, info in desc["result"].items()}
+    described = desc["result"]
+    instances = {name: info["m"] for name, info in described.items()}
     print(f"instances: "
           f"{', '.join(f'{k} (m={v})' for k, v in sorted(instances.items()))}")
 
-    plan = make_plan(instances, args.queries, seed=args.seed)
-    stats = await run_tcp(args.host, args.port, plan, clients=args.clients,
-                          connect_timeout_s=args.connect_timeout,
-                          shutdown=args.shutdown)
+    update_task = None
+    if args.live_update:
+        name = sorted(described)[0]
+        m_tree = described[name].get("m_tree", instances[name] // 3)
+        update_task = asyncio.create_task(live_update(
+            args.host, args.port, name, m_tree,
+            delay_s=args.update_delay))
+
+    if args.procs > 1:
+        stats = await run_procs(
+            args.host, args.port, instances, args.queries,
+            procs=args.procs, clients=args.clients, seed=args.seed,
+            pipeline=args.pipeline,
+            connect_timeout_s=args.connect_timeout)
+    else:
+        plan = make_plan(instances, args.queries, seed=args.seed)
+        stats = await run_tcp(args.host, args.port, plan,
+                              clients=args.clients,
+                              connect_timeout_s=args.connect_timeout,
+                              pipeline=args.pipeline)
+    update_ok = True
+    if update_task is not None:
+        upd = await update_task
+        update_ok = upd.get("ok", False)
+        if update_ok:
+            print(f"live update: rebuilt edge {upd['edge']} -> "
+                  f"generation {upd['generation']} after {upd['probes']} "
+                  f"probe(s), shipped to {upd.get('shipped_to')}")
+        else:
+            print(f"live update FAILED: {upd.get('error')}",
+                  file=sys.stderr)
+    if args.shutdown:
+        try:
+            r, w = await asyncio.open_connection(args.host, args.port)
+            w.write(b'{"op": "shutdown"}\n')
+            await w.drain()
+            await r.readline()
+            w.close()
+        except OSError:
+            pass
     s = stats.summary()
+    mode = (f"{args.procs} procs x {args.clients} clients"
+            if args.procs > 1 else f"{args.clients} clients")
     print(f"served {s['answered']:,} of {s['sent']:,} queries in "
-          f"{s['wall_s']:.2f}s ({s['qps']:,.0f} qps), "
+          f"{s['wall_s']:.2f}s ({s['qps']:,.0f} qps, {mode}, "
+          f"pipeline {args.pipeline}), "
           f"shed {s['shed']}, transport errors {s['errors']}, "
           f"p50 {s['p50_ms']}ms p99 {s['p99_ms']}ms")
-    ok = s["answered"] > 0 and s["qps"] > 0 and s["errors"] == 0
+    ok = (s["answered"] > 0 and s["qps"] > 0 and s["errors"] == 0
+          and update_ok)
     return 0 if ok else 1
 
 
@@ -336,6 +587,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--connect-timeout", type=float, default=15.0,
                     help="seconds to retry the first connection")
+    ap.add_argument("--procs", type=int, default=1,
+                    help="fork this many whole loadgen processes and "
+                         "merge their stats (each drives queries/procs)")
+    ap.add_argument("--pipeline", type=int, default=1,
+                    help="requests kept in flight per connection "
+                         "(responses correlate positionally)")
+    ap.add_argument("--live-update", action="store_true",
+                    help="force one rebuild-forcing update mid-storm "
+                         "(on a router: a digest-shipped generation swap)")
+    ap.add_argument("--update-delay", type=float, default=0.5,
+                    help="seconds into the storm to fire --live-update")
     ap.add_argument("--shutdown", action="store_true",
                     help="send a shutdown op after the run")
     args = ap.parse_args(argv)

@@ -15,7 +15,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-__all__ = ["LatencyReservoir", "ShardMetrics", "UpdateMetrics"]
+__all__ = ["LatencyReservoir", "ShardMetrics", "UpdateMetrics",
+           "RouterMetrics", "merged_latency"]
 
 
 class LatencyReservoir:
@@ -48,6 +49,31 @@ class LatencyReservoir:
         if self._count == 0:
             return None
         return float(np.percentile(self._buf[: self._count], q))
+
+    def values(self) -> np.ndarray:
+        """The buffered window (unordered copy) — merge fodder."""
+        return self._buf[: self._count].copy()
+
+
+def merged_latency(reservoirs) -> Dict:
+    """One service-wide ``{p50_ms, p99_ms, samples}`` over many shards.
+
+    Percentiles do not compose — the p99 of per-shard p99s is not the
+    service p99 — so the merge pools the raw reservoir windows and
+    takes percentiles over the union. Each reservoir holds its most
+    recent window, so the merge is the recent service-wide
+    distribution, weighted by per-shard traffic exactly as observed.
+    """
+    pools = [r.values() for r in reservoirs]
+    pools = [p for p in pools if len(p)]
+    if not pools:
+        return {"p50_ms": None, "p99_ms": None, "samples": 0}
+    allv = np.concatenate(pools)
+    return {
+        "p50_ms": _ms(float(np.percentile(allv, 50))),
+        "p99_ms": _ms(float(np.percentile(allv, 99))),
+        "samples": int(len(allv)),
+    }
 
 
 class ShardMetrics:
@@ -104,6 +130,47 @@ class UpdateMetrics:
             "stages_executed": self.stages_executed,
             "stages_cached": self.stages_cached,
             "rebuild_wall_s": round(self.rebuild_wall_s, 4),
+        }
+
+
+class RouterMetrics:
+    """Router-tier counters: what the front door did with each request.
+
+    ``forwarded`` counts queries relayed to a worker; ``replica_hits``
+    the subset served by a non-primary replica (read fan-out working);
+    ``shed_router`` requests refused *at the router* because the target
+    worker's reported queue depth crossed the shed watermark — the
+    backpressure propagation path; ``swaps_shipped`` generation swaps
+    relayed to replicas by snapshot digest, with their ship+adopt
+    latency in ``swap_latency``.
+    """
+
+    def __init__(self, reservoir: int = 8192):
+        self.forwarded = 0
+        self.replica_hits = 0
+        self.shed_router = 0
+        self.updates = 0
+        self.swaps_shipped = 0
+        self.patches_fanned = 0
+        self.depth_polls = 0
+        self.worker_errors = 0
+        self.latency = LatencyReservoir(reservoir)
+        self.swap_latency = LatencyReservoir(256)
+
+    def snapshot(self) -> Dict:
+        return {
+            "forwarded": self.forwarded,
+            "replica_hits": self.replica_hits,
+            "shed_router": self.shed_router,
+            "updates": self.updates,
+            "swaps_shipped": self.swaps_shipped,
+            "patches_fanned": self.patches_fanned,
+            "depth_polls": self.depth_polls,
+            "worker_errors": self.worker_errors,
+            "forward_p50_ms": _ms(self.latency.percentile(50)),
+            "forward_p99_ms": _ms(self.latency.percentile(99)),
+            "swap_p50_ms": _ms(self.swap_latency.percentile(50)),
+            "swap_p99_ms": _ms(self.swap_latency.percentile(99)),
         }
 
 

@@ -1,0 +1,91 @@
+"""Consistent-hash placement of graph instances onto worker processes.
+
+The router tier places every named instance with **rendezvous (highest
+random weight) hashing**: each (instance, worker) pair gets a stable
+64-bit score (BLAKE2b of ``"worker@instance"``) and the instance is
+owned by the worker with the highest score. Replica sets are the top-k
+scorers. This is the consistent-hashing variant with the strongest
+movement guarantees, and the two properties the tier is built on — the
+ones the test suite pins down — hold by construction:
+
+* **balance** — placements are an independent uniform draw per
+  instance, so every worker owns within a small factor of
+  ``instances / workers`` (the suite asserts within 2x of ideal at
+  100 instances x 8 workers);
+* **minimal movement** — a joining worker steals exactly the instances
+  it now top-scores (an expected ``1/(workers+1)`` fraction) and a
+  leaving worker's instances are exactly the set that remaps; no
+  unrelated instance ever moves, so placements keep their warm page
+  cache and artifact stores across fleet changes.
+
+Scores rank every worker for every instance, so the replica *order* is
+stable too: a fleet change only inserts or deletes one worker from
+each ranking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from ..errors import ValidationError
+
+__all__ = ["Placement"]
+
+
+def _score(key: str, worker: int) -> int:
+    """Stable 64-bit rendezvous score of ``(key, worker)``."""
+    return int.from_bytes(
+        hashlib.blake2b(f"{worker}@{key}".encode(), digest_size=8).digest(),
+        "big",
+    )
+
+
+class Placement:
+    """Rendezvous-hash placement of string keys onto worker ids."""
+
+    def __init__(self, workers=()):
+        self._workers: set = set()
+        for w in workers:
+            self.add_worker(w)
+
+    @property
+    def workers(self) -> List[int]:
+        return sorted(self._workers)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def add_worker(self, worker: int) -> None:
+        worker = int(worker)
+        if worker in self._workers:
+            raise ValidationError(f"worker {worker} already placed")
+        self._workers.add(worker)
+
+    def remove_worker(self, worker: int) -> None:
+        worker = int(worker)
+        if worker not in self._workers:
+            raise ValidationError(f"worker {worker} not placed")
+        self._workers.discard(worker)
+
+    def place(self, key: str) -> int:
+        """The worker owning ``key`` (its highest scorer, the primary)."""
+        if not self._workers:
+            raise ValidationError("placement has no workers")
+        return max(self._workers, key=lambda w: _score(key, w))
+
+    def replicas(self, key: str, count: int) -> List[int]:
+        """The top-``count`` workers for ``key``, primary first.
+
+        ``count`` saturates at the fleet size.
+        """
+        if not self._workers:
+            raise ValidationError("placement has no workers")
+        count = max(1, min(int(count), len(self._workers)))
+        ranked = sorted(self._workers, key=lambda w: _score(key, w),
+                        reverse=True)
+        return ranked[:count]
+
+    def placement(self, keys, count: int = 1) -> Dict[str, List[int]]:
+        """Replica sets for every key in one call (router bootstrap)."""
+        return {k: self.replicas(k, count) for k in keys}

@@ -1,0 +1,695 @@
+"""The router tier: one front door over N worker processes.
+
+``repro route`` (or ``repro serve --workers N``) runs a
+:class:`RouterTier`: a process that owns the public TCP listener and
+consistent-hash-places graph instances onto worker processes, each of
+which runs a full :class:`~repro.service.worker_proc.WorkerService`
+(shards x micro-batchers x update path) in its own interpreter — the
+fleet discipline of the paper's MPC model applied to the serving
+substrate itself. The router holds no oracle state; it holds *routing*
+state:
+
+* **placement** — rendezvous hashing (:mod:`repro.service.placement`)
+  maps each instance to a primary worker plus ``replication - 1``
+  replicas. Reads fan out round-robin across the replica set (hot
+  instances use the whole set); writes always go to the primary.
+* **snapshot shipping** — an instance is introduced to its workers by
+  ``adopt``: the router publishes one digest-addressed, uncompressed
+  ``.npz`` snapshot and every replica memory-maps the same page-cached
+  file. A structure-changing update rebuilds **once** on the primary,
+  which publishes the new generation's snapshot; the router then ships
+  only ``(path, digest, generation)`` to the replicas, whose ``swap``
+  is an mmap + atomic shard-tuple swap under live reads — zero
+  pipeline work, zero downtime, bit-identical answers per generation.
+* **backpressure** — workers report per-instance queue depth
+  (``depth`` op, polled on a dedicated telemetry link); once a
+  worker's fraction of its queue bound crosses the shed watermark the
+  router sheds *before* forwarding, so overload answers come from the
+  cheap tier and saturated workers drain instead of queueing deeper.
+
+Forwarding is deliberately thin: worker links are pipelined JSON-lines
+connections with FIFO correlation (the service writes responses in
+request order), and on the hot read path the router forwards the
+client's raw request line and relays the worker's raw response line —
+one ``json.loads`` for routing, zero re-serialisation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ServiceError, ValidationError
+from ..graph.graph import WeightedGraph
+from ..mpc import MPCConfig
+from ..mpc.parallel import get_context
+from ..oracle import SensitivityOracle, build_oracle
+from ..serialize import file_digest
+from .batching import QUERY_OPS
+from .metrics import RouterMetrics
+from .placement import Placement
+from .worker_proc import WorkerSpec, worker_entry
+
+__all__ = ["RouterConfig", "RouterTier", "WorkerLink"]
+
+
+@dataclass
+class RouterConfig:
+    """Deployment knobs for one router process and its worker fleet."""
+
+    workers: int = 2                 #: worker processes to spawn
+    replication: int = 2             #: replicas per instance (cap: workers)
+    shards: int = 2                  #: edge-range shards per instance/worker
+    max_batch: int = 512
+    batch_window_s: float = 0.002
+    queue_depth: int = 4096
+    engine: str = "local"
+    delta: float = 0.35
+    oracle_labels: bool = True
+    host: str = "127.0.0.1"          #: front-door bind address
+    port: int = 7465                 #: front-door port (0 picks a free one)
+    worker_host: str = "127.0.0.1"   #: where workers bind (loopback fleet)
+    mmap_dir: Optional[str] = None   #: snapshot spool (default: a tempdir)
+    cache_dir: Optional[str] = None  #: per-worker artifact cache root
+    query_links: int = 2             #: pipelined query connections per worker
+    shed_watermark: float = 0.9      #: depth fraction that trips router shed
+    depth_poll_s: float = 0.02       #: telemetry poll interval
+    spawn_timeout_s: float = 120.0   #: worker boot handshake budget
+
+
+class WorkerLink:
+    """One pipelined JSON-lines connection with FIFO correlation.
+
+    The service endpoint writes responses strictly in request order, so
+    correlation is a deque of futures: the k-th response line resolves
+    the k-th outstanding request. Many requests ride one connection
+    concurrently; a lost connection fails every outstanding future with
+    a structured :class:`~repro.errors.ServiceError` instead of leaking
+    ``ConnectionResetError`` into the router's forwarding paths.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: deque = deque()
+        self._dead = False
+        self._task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      timeout_s: float = 10.0) -> "WorkerLink":
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout_s)
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServiceError(f"worker connect {host}:{port} failed: {exc}",
+                               kind="disconnected")
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if self._pending:
+                    fut = self._pending.popleft()
+                    if not fut.done():
+                        fut.set_result(line)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._dead = True
+            while self._pending:
+                fut = self._pending.popleft()
+                if not fut.done():
+                    fut.set_exception(ServiceError(
+                        "worker connection lost with requests in flight",
+                        kind="disconnected"))
+
+    async def request_raw(self, line: bytes) -> bytes:
+        """Send one already-framed request line, await its response line."""
+        if self._dead:
+            raise ServiceError("worker link is down", kind="disconnected")
+        fut = asyncio.get_running_loop().create_future()
+        self._pending.append(fut)       # append + write: one atomic step
+        self._writer.write(line)
+        try:
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            if not fut.done():
+                self._pending.remove(fut)
+                fut.cancel()
+            raise ServiceError(f"worker link write failed: {exc}",
+                               kind="disconnected")
+        return await fut
+
+    async def request(self, req: Dict,
+                      timeout_s: Optional[float] = None) -> Dict:
+        """Parsed request/response (control + telemetry paths)."""
+        line = (json.dumps(req) + "\n").encode()
+        if timeout_s is None:
+            raw = await self.request_raw(line)
+        else:
+            raw = await asyncio.wait_for(self.request_raw(line), timeout_s)
+        return json.loads(raw)
+
+    async def close(self) -> None:
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+@dataclass
+class _Worker:
+    """Router-side handle to one spawned worker process."""
+
+    worker_id: int
+    proc: object
+    port: int
+    links: List[WorkerLink]          #: pipelined query links (round-robin)
+    control: WorkerLink              #: adopt/swap/update/shutdown
+    telemetry: WorkerLink            #: depth polls + metrics scrapes
+    depth: Dict = field(default_factory=dict)
+    rr: int = 0
+
+    def next_link(self) -> WorkerLink:
+        self.rr += 1
+        return self.links[self.rr % len(self.links)]
+
+
+@dataclass
+class _Placed:
+    """One routed instance: its replica set and routing facts."""
+
+    name: str
+    m: int
+    n: int
+    m_tree: int
+    replicas: List[int]              #: worker ids, primary first
+    generation: int = 0
+    rr: int = 0
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+class RouterTier:
+    """Front door + placement + snapshot shipping over worker processes."""
+
+    PIPELINE_LIMIT = 1024
+
+    def __init__(self, config: Optional[RouterConfig] = None):
+        self.config = config or RouterConfig()
+        if self.config.workers < 1:
+            raise ValidationError("router needs at least one worker")
+        self.placement = Placement()
+        self.workers: Dict[int, _Worker] = {}
+        self.instances: Dict[str, _Placed] = {}
+        self.metrics = RouterMetrics()
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self._conn_tasks: set = set()
+        self._conn_writers: set = set()
+        self._pollers: List[asyncio.Task] = []
+        self._spool = self.config.mmap_dir
+        self._own_spool: Optional[tempfile.TemporaryDirectory] = None
+        self._fwd_count = 0
+        self._stopped = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self, serve_tcp: bool = False) -> None:
+        """Spawn + handshake the fleet, then (optionally) open the door."""
+        if self._spool is None:
+            self._own_spool = tempfile.TemporaryDirectory(
+                prefix="repro-router-")
+            self._spool = self._own_spool.name
+        os.makedirs(self._spool, exist_ok=True)
+        ctx = get_context()
+        boots = []
+        for wid in range(self.config.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            spec = WorkerSpec(
+                worker_id=wid, host=self.config.worker_host,
+                shards=self.config.shards, max_batch=self.config.max_batch,
+                batch_window_s=self.config.batch_window_s,
+                queue_depth=self.config.queue_depth,
+                engine=self.config.engine, delta=self.config.delta,
+                oracle_labels=self.config.oracle_labels,
+                mmap_dir=os.path.join(self._spool, f"worker{wid}"),
+                cache_dir=(os.path.join(self.config.cache_dir, f"worker{wid}")
+                           if self.config.cache_dir else None),
+            )
+            proc = ctx.Process(target=worker_entry,
+                               args=(child_conn, spec), daemon=True)
+            proc.start()
+            child_conn.close()
+            boots.append((wid, proc, parent_conn))
+        loop = asyncio.get_running_loop()
+        deadline = time.perf_counter() + self.config.spawn_timeout_s
+        for wid, proc, conn in boots:
+            try:
+                budget = max(0.1, deadline - time.perf_counter())
+                msg = await asyncio.wait_for(
+                    loop.run_in_executor(None, conn.recv), budget)
+            except (asyncio.TimeoutError, EOFError, OSError):
+                await self._kill_boots(boots)
+                raise ServiceError(
+                    f"worker {wid} failed its boot handshake within "
+                    f"{self.config.spawn_timeout_s:.0f}s",
+                    kind="disconnected")
+            finally:
+                conn.close()
+            assert msg[0] == "ready" and msg[1] == wid
+            port = int(msg[2])
+            links = [await WorkerLink.connect(self.config.worker_host, port)
+                     for _ in range(max(1, self.config.query_links))]
+            control = await WorkerLink.connect(self.config.worker_host, port)
+            telemetry = await WorkerLink.connect(self.config.worker_host,
+                                                 port)
+            self.workers[wid] = _Worker(
+                worker_id=wid, proc=proc, port=port, links=links,
+                control=control, telemetry=telemetry)
+            self.placement.add_worker(wid)
+        self.started_at = time.perf_counter()
+        for w in self.workers.values():
+            self._pollers.append(
+                asyncio.get_running_loop().create_task(self._poll_depth(w)))
+        if serve_tcp:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port)
+
+    async def _kill_boots(self, boots) -> None:
+        for _wid, proc, _conn in boots:
+            if proc.is_alive():
+                proc.terminate()
+
+    @property
+    def tcp_address(self) -> Optional[tuple]:
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        await self._shutdown.wait()
+
+    async def stop(self) -> None:
+        """Shut the whole tree down: door, pollers, workers, spool."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for t in self._pollers:
+            t.cancel()
+        if self._pollers:
+            await asyncio.gather(*self._pollers, return_exceptions=True)
+        self._pollers = []
+        loop = asyncio.get_running_loop()
+        for w in self.workers.values():
+            try:
+                await w.control.request({"op": "shutdown"}, timeout_s=10.0)
+            except (ServiceError, asyncio.TimeoutError):
+                pass
+            for link in (*w.links, w.control, w.telemetry):
+                await link.close()
+        for w in self.workers.values():
+            await loop.run_in_executor(None, w.proc.join, 10.0)
+            if w.proc.is_alive():  # pragma: no cover - stuck worker
+                w.proc.terminate()
+                await loop.run_in_executor(None, w.proc.join, 5.0)
+        if self._own_spool is not None:
+            self._own_spool.cleanup()
+            self._own_spool = None
+        self._shutdown.set()
+
+    # -- instance placement ----------------------------------------------------
+
+    async def add_instance(self, name: str, graph: WeightedGraph,
+                           oracle: Optional[SensitivityOracle] = None
+                           ) -> Dict:
+        """Build (or adopt) generation 0 and ship it to the replica set.
+
+        The oracle is built **once** (here, unless one is supplied),
+        published as a digest-addressed snapshot, and adopted by every
+        replica via mmap — N workers, one build, one page-cached copy.
+        """
+        if name in self.instances:
+            raise ValidationError(f"instance {name!r} already registered")
+        if not self.workers:
+            raise ValidationError("router not started")
+        cfg = self.config
+        if oracle is None:
+            config = (MPCConfig(delta=cfg.delta)
+                      if cfg.engine == "distributed" else None)
+            oracle = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: build_oracle(
+                    graph, engine=cfg.engine, config=config,
+                    oracle_labels=cfg.oracle_labels))
+        tmp = os.path.join(self._spool, f".{name}-seed.tmp.npz")
+        oracle.save(tmp, compressed=False)
+        digest = file_digest(tmp)
+        path = os.path.join(self._spool, f"{name}-{digest[:16]}.npz")
+        os.replace(tmp, path)
+        replicas = self.placement.replicas(name, cfg.replication)
+        adopt = {"op": "adopt", "instance": name, "path": path,
+                 "digest": digest, "generation": 0}
+        results = await asyncio.gather(*(
+            self.workers[wid].control.request(adopt) for wid in replicas))
+        for wid, resp in zip(replicas, results):
+            if not resp.get("ok"):
+                raise ServiceError(
+                    f"worker {wid} refused to adopt {name!r}: "
+                    f"{resp.get('error')}")
+        self.instances[name] = _Placed(
+            name=name, m=graph.m, n=graph.n, m_tree=graph.m_tree,
+            replicas=replicas)
+        return {"instance": name, "replicas": replicas,
+                "digest": digest, "path": path}
+
+    # -- read path -------------------------------------------------------------
+
+    def _placed(self, name: Optional[str]) -> _Placed:
+        if name is None and len(self.instances) == 1:
+            return next(iter(self.instances.values()))
+        if name not in self.instances:
+            raise ValidationError(
+                f"unknown instance {name!r} "
+                f"(have: {sorted(self.instances)})")
+        return self.instances[name]
+
+    def _pick_worker(self, placed: _Placed) -> Optional[_Worker]:
+        """Round-robin over the replica set, skipping saturated workers.
+
+        Returns ``None`` when every replica reports a queue depth past
+        the shed watermark — the router's cue to shed at its own tier.
+        """
+        n = len(placed.replicas)
+        for k in range(n):
+            placed.rr += 1
+            wid = placed.replicas[placed.rr % n]
+            w = self.workers[wid]
+            info = w.depth.get(placed.name)
+            if info is not None and \
+                    info.get("fraction", 0.0) >= self.config.shed_watermark:
+                continue
+            if wid != placed.replicas[0]:
+                self.metrics.replica_hits += 1
+            return w
+        return None
+
+    async def _forward_query_raw(self, req: Dict, line: bytes) -> bytes:
+        """The hot path: route by instance, relay raw lines."""
+        try:
+            placed = self._placed(req.get("instance"))
+        except ValidationError as exc:
+            return self._frame({"ok": False, "error": str(exc)}, req)
+        w = self._pick_worker(placed)
+        if w is None:
+            self.metrics.shed_router += 1
+            return self._frame(
+                {"ok": False, "shed": True, "where": "router",
+                 "error": f"all {len(placed.replicas)} replica(s) of "
+                          f"{placed.name!r} are past the shed watermark"},
+                req)
+        t0 = time.perf_counter()
+        try:
+            raw = await w.next_link().request_raw(line)
+        except ServiceError as exc:
+            self.metrics.worker_errors += 1
+            return self._frame(
+                {"ok": False, "error": str(exc),
+                 "error_kind": "worker-disconnected"}, req)
+        self.metrics.forwarded += 1
+        self._fwd_count += 1
+        if self._fwd_count % 16 == 0:  # stride-sampled router-side rtt
+            self.metrics.latency.extend([time.perf_counter() - t0])
+        return raw
+
+    @staticmethod
+    def _frame(resp: Dict, req: Dict) -> bytes:
+        if "id" in req:
+            resp["id"] = req["id"]
+        return (json.dumps(resp) + "\n").encode()
+
+    # -- write path ------------------------------------------------------------
+
+    async def update(self, req: Dict) -> Dict:
+        """Forward a weight update to the primary, then ship the result.
+
+        * ``rebuilt`` — the primary already published the new
+          generation's digest-addressed snapshot; ship ``swap`` to the
+          other replicas and wait for every one to adopt it.
+        * ``patched`` — fan the same (provably threshold-preserving)
+          update out to the replicas; each applies the two-cell patch.
+        * ``rejected`` — nothing to ship.
+        """
+        try:
+            placed = self._placed(req.get("instance"))
+        except ValidationError as exc:
+            return {"ok": False, "error": str(exc)}
+        primary = self.workers[placed.replicas[0]]
+        fwd = {"op": "update", "instance": placed.name,
+               "edge": req.get("edge", -1),
+               "weight": req.get("weight", float("nan"))}
+        async with placed.lock:  # one update in flight per instance
+            self.metrics.updates += 1
+            try:
+                resp = await primary.control.request(fwd)
+            except ServiceError as exc:
+                self.metrics.worker_errors += 1
+                return {"ok": False, "error": str(exc),
+                        "error_kind": "worker-disconnected"}
+            others = [self.workers[wid] for wid in placed.replicas[1:]]
+            if resp.get("action") == "rebuilt" and others:
+                swap = {"op": "swap", "instance": placed.name,
+                        "path": resp["snapshot_path"],
+                        "digest": resp["snapshot_digest"],
+                        "generation": resp["generation"]}
+                t0 = time.perf_counter()
+                acks = await asyncio.gather(
+                    *(w.control.request(swap) for w in others),
+                    return_exceptions=True)
+                self.metrics.swap_latency.extend(
+                    [time.perf_counter() - t0])
+                self.metrics.swaps_shipped += len(others)
+                resp["shipped_to"] = []
+                for w, ack in zip(others, acks):
+                    ok = isinstance(ack, dict) and ack.get("ok")
+                    if not ok:
+                        self.metrics.worker_errors += 1
+                    resp["shipped_to"].append(
+                        {"worker": w.worker_id, "ok": bool(ok)})
+            elif resp.get("action") == "patched" and others:
+                acks = await asyncio.gather(
+                    *(w.control.request(fwd) for w in others),
+                    return_exceptions=True)
+                self.metrics.patches_fanned += len(others)
+                for w, ack in zip(others, acks):
+                    if not (isinstance(ack, dict)
+                            and ack.get("action") == "patched"):
+                        self.metrics.worker_errors += 1
+            if resp.get("action") == "rebuilt":
+                placed.generation = int(resp["generation"])
+        return resp
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe_instances(self) -> Dict:
+        return {
+            name: {
+                "n": p.n, "m": p.m, "m_tree": p.m_tree,
+                "generation": p.generation,
+                "replicas": list(p.replicas),
+                "primary": p.replicas[0],
+            }
+            for name, p in self.instances.items()
+        }
+
+    async def router_metrics(self) -> Dict:
+        """Router counters + a scrape of every worker's own metrics."""
+        uptime = (time.perf_counter() - self.started_at
+                  if self.started_at is not None else 0.0)
+        per_worker = {}
+        scrapes = await asyncio.gather(
+            *(w.telemetry.request({"op": "metrics"})
+              for w in self.workers.values()),
+            return_exceptions=True)
+        total_q = total_shed = 0
+        for w, scrape in zip(self.workers.values(), scrapes):
+            if isinstance(scrape, dict) and scrape.get("ok"):
+                m = scrape["result"]
+                total_q += m["queries"]
+                total_shed += m["shed"]
+                per_worker[str(w.worker_id)] = m
+            else:
+                per_worker[str(w.worker_id)] = {"error": str(scrape)}
+        return {
+            "uptime_s": round(uptime, 3),
+            "queries": total_q,
+            "qps": round(total_q / uptime, 1) if uptime else 0.0,
+            "shed_workers": total_shed,
+            "router": self.metrics.snapshot(),
+            "workers": per_worker,
+        }
+
+    # -- backpressure ----------------------------------------------------------
+
+    async def _poll_depth(self, w: _Worker) -> None:
+        """Telemetry loop: keep ``w.depth`` fresh for the shed check."""
+        try:
+            while True:
+                try:
+                    resp = await w.telemetry.request(
+                        {"op": "depth"}, timeout_s=5.0)
+                    if resp.get("ok"):
+                        w.depth = resp["result"]
+                        self.metrics.depth_polls += 1
+                except (ServiceError, asyncio.TimeoutError):
+                    self.metrics.worker_errors += 1
+                    await asyncio.sleep(
+                        max(0.2, self.config.depth_poll_s * 5))
+                    if w.telemetry._dead:
+                        return
+                await asyncio.sleep(self.config.depth_poll_s)
+        except asyncio.CancelledError:
+            raise
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def handle_request(self, req: Dict) -> Dict:
+        """Parsed dispatch (in-process clients, tests, benchmarks)."""
+        op = req.get("op")
+        if op in QUERY_OPS:
+            raw = await self._forward_query_raw(
+                req, (json.dumps(req) + "\n").encode())
+            return json.loads(raw)
+        if op == "update":
+            resp = await self.update(req)
+        elif op == "metrics":
+            resp = {"ok": True, "result": await self.router_metrics()}
+        elif op == "depth":
+            resp = {"ok": True,
+                    "result": {str(w.worker_id): w.depth
+                               for w in self.workers.values()}}
+        elif op == "instances":
+            resp = {"ok": True, "result": self.describe_instances()}
+        elif op == "ping":
+            resp = {"ok": True, "result": "pong"}
+        elif op == "shutdown":
+            resp = {"ok": True, "result": "bye"}
+        else:
+            resp = {"ok": False, "error": f"unknown op {op!r}"}
+        if "id" in req:
+            resp["id"] = req["id"]
+        return resp
+
+    # -- TCP front door --------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """Pipelined, in-order front door (the service's discipline).
+
+        Query ops take the raw relay path — the original request line is
+        forwarded and the worker's response line is written back without
+        re-serialisation; everything else goes through parsed dispatch.
+        """
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._conn_writers.add(writer)
+        order: asyncio.Queue = asyncio.Queue(maxsize=self.PIPELINE_LIMIT)
+
+        async def write_in_order() -> None:
+            while True:
+                item = await order.get()
+                if item is None:
+                    return
+                fut, is_shutdown = item
+                try:
+                    resp = await fut
+                except Exception as exc:  # noqa: BLE001
+                    resp = {"ok": False,
+                            "error": f"{type(exc).__name__}: {exc}"}
+                if isinstance(resp, (bytes, bytearray)):
+                    writer.write(resp)
+                else:
+                    writer.write((json.dumps(resp) + "\n").encode())
+                await writer.drain()
+                if is_shutdown:
+                    self._shutdown.set()
+                    return
+
+        loop = asyncio.get_running_loop()
+        wtask = loop.create_task(write_in_order())
+        try:
+            while not wtask.done():
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                try:
+                    req = json.loads(line)
+                    if not isinstance(req, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    fut: asyncio.Future = loop.create_future()
+                    fut.set_result(
+                        {"ok": False, "error": f"bad request: {exc}"})
+                    await order.put((fut, False))
+                    continue
+                if req.get("op") in QUERY_OPS:
+                    handling = loop.create_task(
+                        self._forward_query_raw(req, line))
+                else:
+                    handling = loop.create_task(self.handle_request(req))
+                await order.put((handling, req.get("op") == "shutdown"))
+                if req.get("op") == "shutdown":
+                    break
+        finally:
+            if not wtask.done():
+                try:
+                    order.put_nowait(None)
+                except asyncio.QueueFull:
+                    wtask.cancel()
+            try:
+                await wtask
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+            while not order.empty():
+                item = order.get_nowait()
+                if item is not None:
+                    item[0].cancel()
+                    try:
+                        await item[0]
+                    except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                        pass
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass

@@ -37,12 +37,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import ValidationError
+from ..errors import ServiceError, ValidationError
 from ..graph.graph import WeightedGraph
 from ..mpc import MPCConfig
 from ..oracle import SensitivityOracle
 from ..pipeline import ArtifactStore
 from .batching import QUERY_OPS, MicroBatcher, ServiceOverloaded
+from .metrics import merged_latency
 from .shards import OracleShard, ShardSpec, plan_shards, route
 from .updates import InstanceUpdater, UpdateReport
 
@@ -289,10 +290,12 @@ class SensitivityService:
                   if self.started_at is not None else 0.0)
         per_instance = {}
         total_queries = total_shed = 0
+        reservoirs = []
         for name, inst in self.instances.items():
             shard_snaps = [s.metrics.snapshot(uptime) for s in inst.shards]
             total_queries += sum(s["queries"] for s in shard_snaps)
             total_shed += sum(s["shed"] for s in shard_snaps)
+            reservoirs.extend(s.metrics.latency for s in inst.shards)
             per_instance[name] = {
                 "generation": inst.updater.generation,
                 "shards": shard_snaps,
@@ -304,8 +307,30 @@ class SensitivityService:
             "queries": total_queries,
             "qps": round(total_queries / uptime, 1) if uptime else 0.0,
             "shed": total_shed,
+            # service-wide percentiles: pooled shard reservoirs, not a
+            # percentile of per-shard percentiles (which composes wrong)
+            "latency": merged_latency(reservoirs),
             "instances": per_instance,
         }
+
+    def queue_depths(self) -> Dict:
+        """Per-instance queued-query totals — the backpressure signal.
+
+        The router polls this (wire op ``depth``) and sheds at its own
+        tier before forwarding once an instance's fraction of its total
+        queue bound crosses the shed watermark.
+        """
+        out = {}
+        for name, inst in self.instances.items():
+            queued = sum(b.depth for b in inst.batchers)
+            bound = sum(b.queue_depth for b in inst.batchers)
+            out[name] = {
+                "queued": queued,
+                "bound": bound,
+                "fraction": round(queued / bound, 4) if bound else 0.0,
+                "generation": inst.updater.generation,
+            }
+        return out
 
     # -- TCP JSON-lines front door ---------------------------------------------
 
@@ -322,6 +347,8 @@ class SensitivityService:
                                      instance=req.get("instance"))
         elif op == "metrics":
             resp = {"ok": True, "result": self.metrics()}
+        elif op == "depth":
+            resp = {"ok": True, "result": self.queue_depths()}
         elif op == "instances":
             resp = {"ok": True, "result": self.describe_instances()}
         elif op == "ping":
@@ -334,15 +361,52 @@ class SensitivityService:
             resp["id"] = req["id"]
         return resp
 
+    #: In-flight pipelined requests allowed per connection before the
+    #: reader stops pulling new lines (per-shard queues bound the real
+    #: backlog; this only stops one connection from hogging the loop).
+    PIPELINE_LIMIT = 1024
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        """One JSON-lines connection, **pipelined with in-order replies**.
+
+        The reader keeps pulling request lines and dispatches each as
+        its own task; a writer coroutine awaits those tasks strictly in
+        arrival order and writes one response line per request. Clients
+        may therefore keep many requests in flight on one connection
+        (the response order IS the request order — no ids needed for
+        correlation), which is what makes a micro-batching shard fill
+        its batches from a single TCP peer, and what the router tier's
+        FIFO-correlated worker links are built on. A serial
+        one-request-at-a-time client observes exactly the old protocol.
+        """
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
         self._conn_writers.add(writer)
-        try:
+        order: asyncio.Queue = asyncio.Queue(maxsize=self.PIPELINE_LIMIT)
+
+        async def write_in_order() -> None:
             while True:
+                item = await order.get()
+                if item is None:
+                    return
+                fut, is_shutdown = item
+                try:
+                    resp = await fut
+                except Exception as exc:  # noqa: BLE001 - answer, don't die
+                    resp = {"ok": False,
+                            "error": f"{type(exc).__name__}: {exc}"}
+                writer.write((json.dumps(resp) + "\n").encode())
+                await writer.drain()
+                if is_shutdown:
+                    self._shutdown.set()
+                    return
+
+        wtask = asyncio.get_running_loop().create_task(write_in_order())
+        try:
+            while not wtask.done():
                 try:
                     line = await reader.readline()
                 except (ConnectionError, OSError):
@@ -354,16 +418,37 @@ class SensitivityService:
                     if not isinstance(req, dict):
                         raise ValueError("request must be a JSON object")
                 except ValueError as exc:
-                    resp = {"ok": False, "error": f"bad request: {exc}"}
-                    req = {}
-                else:
-                    resp = await self.handle_request(req)
-                writer.write((json.dumps(resp) + "\n").encode())
-                await writer.drain()
+                    fut: asyncio.Future = asyncio.get_running_loop() \
+                        .create_future()
+                    fut.set_result(
+                        {"ok": False, "error": f"bad request: {exc}"})
+                    await order.put((fut, False))
+                    continue
+                handling = asyncio.get_running_loop().create_task(
+                    self.handle_request(req))
+                await order.put((handling, req.get("op") == "shutdown"))
                 if req.get("op") == "shutdown":
-                    self._shutdown.set()
                     break
         finally:
+            if not wtask.done():
+                try:
+                    order.put_nowait(None)
+                except asyncio.QueueFull:
+                    # writer stalled against a full pipeline (dead peer
+                    # mid-drain): nothing left to deliver in order
+                    wtask.cancel()
+            try:
+                await wtask
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass  # peer vanished mid-write: drop queued answers
+            while not order.empty():
+                item = order.get_nowait()
+                if item is not None:
+                    item[0].cancel()
+                    try:
+                        await item[0]
+                    except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                        pass
             self._conn_writers.discard(writer)
             writer.close()
             try:
@@ -373,23 +458,88 @@ class SensitivityService:
 
 
 class ServiceClient:
-    """In-process client: the wire protocol without the wire.
+    """One client, two transports: in-process dispatch or TCP.
 
-    Typed helpers raise on error responses; :meth:`call` returns the
-    raw response dict (what a TCP client would read back), which is
-    what tests use to observe sheds and structured errors.
+    Construct with a :class:`SensitivityService` for in-process use
+    (the wire protocol without the wire), or with
+    ``await ServiceClient.connect(host, port)`` for a real JSON-lines
+    connection. Typed helpers raise on error responses; :meth:`call`
+    returns the raw response dict (what a TCP client would read back),
+    which is what tests use to observe sheds and structured errors.
+
+    Transport failures never leak raw socket exceptions: a server that
+    drops the connection mid-call — a worker being restarted under the
+    router, a ``shutdown`` racing a query — surfaces as
+    :class:`~repro.errors.ServiceError` with ``kind="disconnected"``,
+    so callers distinguish "peer said no" from "peer went away".
     """
 
-    def __init__(self, service: SensitivityService,
+    def __init__(self, service: Optional[SensitivityService] = None,
                  instance: Optional[str] = None):
         self.service = service
         self.instance = instance
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock: Optional[asyncio.Lock] = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      instance: Optional[str] = None,
+                      connect_timeout_s: float = 10.0) -> "ServiceClient":
+        """Open a TCP JSON-lines connection to a running service."""
+        client = cls(instance=instance)
+        try:
+            client._reader, client._writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout_s
+            )
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                f"connect to {host}:{port} timed out "
+                f"after {connect_timeout_s:.1f}s", kind="disconnected")
+        except OSError as exc:
+            raise ServiceError(f"connect to {host}:{port} failed: {exc}",
+                               kind="disconnected")
+        client._lock = asyncio.Lock()
+        return client
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
 
     async def call(self, op: str, **kw) -> Dict:
         req = {"op": op, **kw}
         if "instance" not in req and self.instance is not None:
             req["instance"] = self.instance
-        return await self.service.handle_request(req)
+        if self.service is not None:
+            return await self.service.handle_request(req)
+        if self._writer is None:
+            raise ServiceError("client is not connected",
+                               kind="disconnected")
+        async with self._lock:  # one request in flight per connection
+            try:
+                self._writer.write((json.dumps(req) + "\n").encode())
+                await self._writer.drain()
+                line = await self._reader.readline()
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    OSError) as exc:
+                raise ServiceError(
+                    f"connection lost mid-call ({op}): "
+                    f"{type(exc).__name__}: {exc}", kind="disconnected")
+        if not line:
+            raise ServiceError(
+                f"server closed the connection mid-call ({op})",
+                kind="disconnected")
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(f"unparseable response line: {exc}",
+                               kind="protocol")
 
     async def _value(self, op: str, **kw):
         resp = await self.call(op, **kw)

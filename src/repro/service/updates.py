@@ -46,6 +46,7 @@ from ..graph.graph import WeightedGraph
 from ..mpc import MPCConfig
 from ..oracle import SensitivityOracle
 from ..pipeline import ArtifactStore, run_sensitivity, verification_pipeline
+from ..serialize import file_digest
 from .metrics import UpdateMetrics
 from .shards import OracleShard, route
 
@@ -73,6 +74,11 @@ class UpdateReport:
     executed: List[str] = field(default_factory=list)
     cached: List[str] = field(default_factory=list)
     wall_s: float = 0.0
+    #: With ``mmap_dir`` set, a rebuild publishes its oracle snapshot
+    #: to a digest-addressed file — the handoff the router ships to
+    #: replicas instead of rebuilding everywhere.
+    snapshot_path: Optional[str] = None
+    snapshot_digest: Optional[str] = None
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -97,37 +103,55 @@ class InstanceUpdater:
         self.mmap_dir = mmap_dir
         self.generation = 0
         self.metrics = UpdateMetrics()
-        self._snapshot_path: Optional[str] = None
+        #: Latest published snapshot (digest-addressed), if any — the
+        #: handoff a router ships to replica workers.
+        self.snapshot_path: Optional[str] = None
+        self.snapshot_digest: Optional[str] = None
+
+    def publish_snapshot(self) -> str:
+        """Persist the current oracle to a digest-addressed ``.npz``.
+
+        The file is written uncompressed (mmap-able), hashed, and
+        renamed to ``<name>-<digest16>.npz`` — content-addressed, so a
+        replica can verify the bytes it maps against the digest it was
+        told to adopt, and re-publishing identical content is a no-op
+        rename onto the same name. The superseded snapshot is unlinked
+        (already-mapped pages stay valid on POSIX).
+        """
+        import os
+
+        os.makedirs(self.mmap_dir, exist_ok=True)
+        tmp = os.path.join(
+            self.mmap_dir, f".{self.name}-gen{self.generation:04d}.tmp.npz"
+        )
+        self.oracle.save(tmp, compressed=False)
+        digest = file_digest(tmp)
+        path = os.path.join(self.mmap_dir,
+                            f"{self.name}-{digest[:16]}.npz")
+        os.replace(tmp, path)
+        if self.snapshot_path not in (None, path):
+            try:
+                os.unlink(self.snapshot_path)
+            except OSError:  # pragma: no cover - e.g. mapped on Windows
+                pass
+        self.snapshot_path = path
+        self.snapshot_digest = digest
+        return path
 
     def shard_oracles(self, n_shards: int) -> List[SensitivityOracle]:
         """The oracle objects a new generation hands to its shards.
 
         Without ``mmap_dir`` every shard shares the in-memory oracle.
         With it, the generation is snapshotted once to an uncompressed
-        ``.npz`` and every shard maps that file read-only — one
-        page-cached copy behind N workers.
+        digest-addressed ``.npz`` and every shard maps that file
+        read-only — one page-cached copy behind N workers (or N
+        processes: the router ships exactly this file to replicas).
         """
         if self.mmap_dir is None:
             return [self.oracle] * n_shards
-        import os
-
-        os.makedirs(self.mmap_dir, exist_ok=True)
-        path = os.path.join(
-            self.mmap_dir, f"{self.name}-gen{self.generation:04d}.npz"
-        )
-        self.oracle.save(path, compressed=False)
-        oracles = [SensitivityOracle.load(path, mmap_mode="r")
-                   for _ in range(n_shards)]
-        # unlink the superseded snapshot so a long-lived service keeps
-        # at most one file per instance: already-mapped pages stay
-        # valid after unlink on POSIX (best-effort elsewhere)
-        if self._snapshot_path is not None and self._snapshot_path != path:
-            try:
-                os.unlink(self._snapshot_path)
-            except OSError:  # pragma: no cover - e.g. mapped on Windows
-                pass
-        self._snapshot_path = path
-        return oracles
+        path = self.publish_snapshot()
+        return [SensitivityOracle.load(path, mmap_mode="r")
+                for _ in range(n_shards)]
 
     # -- construction ----------------------------------------------------------
 
@@ -211,6 +235,8 @@ class InstanceUpdater:
             for shard, orc in zip(shards, self.shard_oracles(len(shards))):
                 shard.swap(orc, self.generation)
             report.generation = self.generation
+            report.snapshot_path = self.snapshot_path
+            report.snapshot_digest = self.snapshot_digest
             report.executed = list(run.executed_stages)
             report.cached = list(run.cached_stages)
             report.stages_executed = len(run.executed_stages)

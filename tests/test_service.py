@@ -618,12 +618,18 @@ class TestServeProcess:
             # old generations still serve from already-mapped pages,
             # but only the latest snapshot file remains on disk
             ans = await client.sensitivity(int(movers[0]))
+            path = inst.updater.snapshot_path
+            digest = inst.updater.snapshot_digest
             await svc.stop()
-            return ans
+            return ans, path, digest
 
-        run(scenario())
+        _, path, digest = run(scenario())
         snaps = sorted(os.listdir(tmp_path))
-        assert snaps == ["default-gen0002.npz"]
+        # digest-addressed: one file, named by its own content hash
+        assert snaps == [os.path.basename(path)]
+        assert snaps == [f"default-{digest[:16]}.npz"]
+        from repro.serialize import file_digest
+        assert file_digest(path) == digest
 
 
 class TestShutdownLatency:
