@@ -1,0 +1,198 @@
+"""E17 — streaming churn: scoped incremental rebuilds vs cold rebuilds.
+
+The S23 streaming subsystem's economic claim: a non-tree-only
+structural batch (the common case under churn — adds land heavy, stale
+edges get dropped) re-runs only the delta rows of the per-edge stages
+(lca, adgraph, labels, pathmax, decide spliced from the previous
+generation's artifacts) plus the sensitivity aggregation, instead of
+the full 14-stage pipeline — while producing the *bit-identical*
+oracle a cold rebuild would.
+
+Workload: ``CYCLES`` rounds of a ``K``-edge heavy add batch followed
+by the matching remove batch over a dense instance (``extra_m = 4n``).
+After **every** batch the oracle is checked bit-for-bit against a full
+pipeline run from an empty store — the cold path is not a strawman, it
+is the correctness reference, and its wall-clock is the baseline.
+
+Acceptance bars:
+
+* bit-identity after every batch (w, tree_mask, threshold, sens,
+  cover_edge all ``array_equal`` vs the cold rebuild);
+* every add/remove batch takes the scoped path (``scoped`` with 5
+  spliced stages) — a tree-affecting control batch is also applied,
+  checked, and excluded from timing;
+* total scoped apply time beats total cold rebuild time by
+  ``MIN_SPEEDUP`` (2x at n>=4096; relaxed under REPRO_BENCH_QUICK
+  where the instance shrinks and fixed costs dominate).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.graph.generators import known_mst_instance
+from repro.oracle import SensitivityOracle
+from repro.pipeline import ArtifactStore, run_sensitivity
+from repro.service import InstanceUpdater
+
+try:  # direct `python benchmarks/bench_e17_...py` runs
+    from common import QUICK, emit_json, scaled, timed
+except ImportError:  # pragma: no cover - path set up by pytest otherwise
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from common import QUICK, emit_json, scaled, timed
+
+N = scaled(4096)
+EXTRA_M = 4 * N
+K = 16                      #: ops per batch
+CYCLES = 3 if QUICK else 6  #: add-batch + remove-batch rounds
+
+#: Scoped-vs-cold floor. At n>=4096 the splice wins >=2x (the ISSUE's
+#: acceptance bar); the QUICK instance is 8x smaller, where per-batch
+#: fixed costs (tree repair, store bookkeeping) eat into the margin.
+MIN_SPEEDUP = 1.2 if QUICK else 2.0
+
+
+def _cold_oracle(graph):
+    """Full pipeline from an empty store — reference AND baseline."""
+    result, _run = run_sensitivity(graph, engine="local",
+                                   oracle_labels=True,
+                                   store=ArtifactStore())
+    return SensitivityOracle.from_result(graph, result)
+
+
+def _assert_identical(a, b, where):
+    for field in ("w", "tree_mask", "threshold", "sens", "cover_edge"):
+        got, want = getattr(a, field), getattr(b, field)
+        assert np.array_equal(got, want), (
+            f"scoped oracle diverges from cold rebuild ({where}: {field})")
+
+
+def _heavy_ops(graph, k, salt):
+    hi = float(graph.w.max())
+    ops = []
+    for j in range(k):
+        u = (j * 13 + salt) % graph.n
+        v = (j * 7 + salt + 1) % graph.n
+        if u == v:
+            v = (v + 1) % graph.n
+        ops.append({"kind": "add", "u": u, "v": v, "weight": hi + 1 + j})
+    return ops
+
+
+def _apply_and_check(up, ops, scoped_expected=True):
+    """One batch through the streaming write path + cold cross-check."""
+    rep = up.apply_batch(ops)
+    assert rep.action == "rebuilt", rep.rejected_ops
+    assert rep.scoped == scoped_expected, (
+        f"batch classified scoped={rep.scoped}, expected {scoped_expected}")
+    if scoped_expected:
+        assert rep.stages_spliced == 5
+    t0 = time.perf_counter()
+    cold = _cold_oracle(up.graph)
+    cold_s = time.perf_counter() - t0
+    _assert_identical(up.oracle, cold, f"gen {rep.generation}")
+    return rep, cold_s
+
+
+def _sweep():
+    g, _ = known_mst_instance("random", N, extra_m=EXTRA_M, rng=23)
+    up = InstanceUpdater.build("stream", g)
+    rows = []
+    scoped_s = cold_s = 0.0
+    batches = 0
+    for cycle in range(CYCLES):
+        rep, c = _apply_and_check(up, _heavy_ops(up.graph, K, salt=17 * cycle))
+        rows.append((cycle, "add", K, "yes", rep.stages_spliced,
+                     round(rep.wall_s, 4), round(c, 4),
+                     round(c / rep.wall_s, 2)))
+        scoped_s += rep.wall_s
+        cold_s += c
+        added = list(rep.added_ids)
+        rep, c = _apply_and_check(
+            up, [{"kind": "remove", "edge": e} for e in added])
+        rows.append((cycle, "remove", K, "yes", rep.stages_spliced,
+                     round(rep.wall_s, 4), round(c, 4),
+                     round(c / rep.wall_s, 2)))
+        scoped_s += rep.wall_s
+        cold_s += c
+        batches += 2
+
+    # control: a tree-affecting batch takes the honest full path — it
+    # must stay bit-identical too, but is excluded from the timing
+    rep, _ = _apply_and_check(
+        up, [{"kind": "add", "u": 0, "v": N // 2,
+              "weight": float(up.graph.w.min()) / 2}],
+        scoped_expected=False)
+    rows.append(("-", "tree-affecting (control)", 1, "no",
+                 rep.stages_spliced, round(rep.wall_s, 4), "-", "-"))
+
+    stats = {
+        "batches": batches,
+        "scoped_wall_s": scoped_s,
+        "cold_wall_s": cold_s,
+        "speedup": cold_s / scoped_s if scoped_s else 0.0,
+        "generations": up.generation,
+        "m_final": up.graph.m,
+    }
+    return rows, stats
+
+
+def _check(stats):
+    assert stats["generations"] == stats["batches"] + 1  # one swap each
+    assert stats["speedup"] >= MIN_SPEEDUP, (
+        f"scoped incremental rebuild {stats['speedup']:.2f}x below the "
+        f"{MIN_SPEEDUP:.1f}x floor at n={N} "
+        f"(scoped {stats['scoped_wall_s']:.3f}s, "
+        f"cold {stats['cold_wall_s']:.3f}s)")
+
+
+HEADERS = ["cycle", "batch", "ops", "scoped", "spliced stages",
+           "apply (s)", "cold rebuild (s)", "speedup"]
+
+
+def test_e17_table(table_sink, benchmark):
+    with timed() as t:
+        rows, stats = _sweep()
+    emit_json(
+        "E17",
+        {"n": N, "extra_m": EXTRA_M, "ops_per_batch": K,
+         "cycles": CYCLES, "min_speedup": MIN_SPEEDUP},
+        HEADERS, rows, wall_s=t.wall_s,
+        scoped_wall_s=round(stats["scoped_wall_s"], 4),
+        cold_wall_s=round(stats["cold_wall_s"], 4),
+        speedup=round(stats["speedup"], 3),
+        generations=stats["generations"],
+    )
+    _check(stats)
+
+    def _bench_round():
+        gb, _ = known_mst_instance("random", min(N, 1024),
+                                   extra_m=4 * min(N, 1024), rng=29)
+        upb = InstanceUpdater.build("bench", gb)
+        rep = upb.apply_batch(_heavy_ops(upb.graph, K, salt=3))
+        assert rep.scoped
+
+    benchmark.pedantic(_bench_round, rounds=1, iterations=1)
+    table_sink(
+        f"E17: streaming churn, {stats['batches']} scoped batches of "
+        f"{K} ops (n={N}, extra_m={EXTRA_M}; scoped "
+        f"{stats['scoped_wall_s']:.3f}s vs cold "
+        f"{stats['cold_wall_s']:.3f}s = {stats['speedup']:.2f}x, "
+        f"floor {MIN_SPEEDUP:.1f}x; bit-identical after every batch)",
+        render_table(HEADERS, rows),
+    )
+
+
+if __name__ == "__main__":
+    t0 = time.perf_counter()
+    rows, stats = _sweep()
+    print(render_table(HEADERS, rows))
+    print(f"speedup {stats['speedup']:.2f}x "
+          f"(scoped {stats['scoped_wall_s']:.3f}s, "
+          f"cold {stats['cold_wall_s']:.3f}s) "
+          f"in {time.perf_counter() - t0:.1f}s total")
+    _check(stats)

@@ -15,6 +15,9 @@ Commands
                  ``--workers N`` scales out through the router tier
 ``route``        run the router tier: front door + consistent-hash
                  placement over N worker processes (S22)
+``loadgen``      drive a query storm against a running serve/route
+                 process; ``--churn RATE`` streams structural
+                 update_batch ops alongside the reads (S23)
 ``sweep``        the headline experiment: rounds vs candidate-tree diameter
 ``lower-bound``  the Theorem 5.2 hard family
 
@@ -31,6 +34,7 @@ Examples::
     python -m repro serve --shapes random,grid,power_law --n 2000 --shards 4
     python -m repro serve --workers 4 --n 2000            # router scale-out
     python -m repro route --workers 4 --replication 2 --port 7465
+    python -m repro loadgen --port 7465 --queries 5000 --churn 10 --shutdown
     python -m repro sweep --n 4096 --diameters 8,32,128,512
     python -m repro lower-bound --sizes 64,256,1024
 """
@@ -226,6 +230,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--mmap-dir", type=str, default=None, metavar="DIR",
                     help="snapshot spool shared by router and workers "
                          "(default: a private tempdir)")
+
+    sp = sub.add_parser(
+        "loadgen",
+        help="drive a query storm (optionally with --churn structural "
+             "batches) against a running serve/route process",
+        add_help=False,
+    )
+    sp.add_argument("loadgen_args", nargs=argparse.REMAINDER,
+                    help="arguments passed through to repro.service.loadgen")
 
     sp = sub.add_parser("sweep", help="rounds vs D_T experiment")
     sp.add_argument("--n", type=int, default=4096)
@@ -658,6 +671,12 @@ def cmd_serve(args, out) -> int:
     return 0
 
 
+def cmd_loadgen(args, out) -> int:
+    from .service.loadgen import main as loadgen_main
+
+    return loadgen_main(args.loadgen_args)
+
+
 def cmd_sweep(args, out) -> int:
     from .core.verification import verify_mst
 
@@ -695,6 +714,13 @@ def cmd_lower_bound(args, out) -> int:
 
 def main(argv=None, out=None) -> int:
     out = out or sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["loadgen"]:
+        # pure passthrough: loadgen owns its whole flag set (argparse
+        # REMAINDER would refuse leading --options it doesn't know)
+        from .service.loadgen import main as loadgen_main
+
+        return loadgen_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return {
@@ -706,6 +732,7 @@ def main(argv=None, out=None) -> int:
             "batch": cmd_batch,
             "serve": cmd_serve,
             "route": cmd_route,
+            "loadgen": cmd_loadgen,
             "sweep": cmd_sweep,
             "lower-bound": cmd_lower_bound,
         }[args.command](args, out)

@@ -77,7 +77,11 @@ class ServiceError(ReproError):
 
     Kinds: ``"disconnected"`` (the peer dropped the connection
     mid-call), ``"response"`` (the peer answered with an error
-    response), ``"protocol"`` (unparseable response line).
+    response), ``"protocol"`` (unparseable response line),
+    ``"bad_request"`` (the request itself was malformed — e.g. an
+    out-of-range edge id arriving from the wire; the server answers
+    ``{"ok": false, "error_kind": "bad_request"}`` instead of letting
+    an ``IndexError`` escape into the connection handler).
     """
 
     def __init__(self, message: str, kind: str = "response"):

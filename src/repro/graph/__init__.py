@@ -1,6 +1,7 @@
 """Graph and tree substrate: representations, generators, validation."""
 
 from .graph import WeightedGraph
+from .mutations import BatchEffect, apply_ops, coalesce_ops
 from .tree import RootedTree, build_adjacency
 from .validation import (
     UnionFind,
@@ -12,6 +13,9 @@ from .validation import (
 
 __all__ = [
     "WeightedGraph",
+    "BatchEffect",
+    "apply_ops",
+    "coalesce_ops",
     "RootedTree",
     "build_adjacency",
     "UnionFind",

@@ -62,31 +62,58 @@ def register(cls: Type["Artifact"]) -> Type["Artifact"]:
     return cls
 
 
-#: Fingerprint scopes, from weight-blind to weight-complete. A stage is
+#: Fingerprint scopes, from graph-blind to weight-complete. A stage is
 #: keyed by the narrowest scope covering what its body actually reads
-#: (dep keys Merkle-chain the rest), so a weight-only update invalidates
-#: only the stages that read weights — the incremental-rebuild lever the
-#: service layer's write path stands on.
-FINGERPRINT_SCOPES = ("topology", "tree", "full")
+#: (dep keys Merkle-chain the rest), so an update invalidates only the
+#: stages whose scope intersects it — the incremental-rebuild lever the
+#: service layer's write path and the streaming subsystem stand on.
+#:
+#: The subgraph-scoped entries hash *subsequences*: ``tree``-family
+#: scopes see only the candidate-tree rows, ``nontree``-family scopes
+#: only the non-tree rows. A structural batch that adds/removes/reprices
+#: non-tree edges therefore leaves every tree-scoped fingerprint
+#: untouched even though absolute edge-array positions shift.
+FINGERPRINT_SCOPES = (
+    "none",               # vertex count only
+    "tree-structure",     # + candidate-tree endpoints
+    "tree",               # + candidate-tree weights
+    "nontree-structure",  # n + non-tree endpoints
+    "nontree",            # + non-tree weights
+    "topology",           # n + all endpoints + tree flags (legacy)
+    "full",               # + all weights (always safe)
+)
 
 
 def graph_fingerprint(graph, scope: str = "full") -> str:
     """Content hash of an instance at the requested scope.
 
-    ``topology`` covers vertices, endpoints and tree flags; ``tree``
-    adds the candidate-tree weights; ``full`` adds all weights.
+    ``none`` covers the vertex count only; the ``tree`` /
+    ``nontree``-family scopes cover the respective edge *subsequence*
+    (endpoints, then also weights); ``topology`` covers all endpoints
+    plus tree flags and ``full`` adds every weight.
     """
     if scope not in FINGERPRINT_SCOPES:
         raise ValueError(f"unknown fingerprint scope {scope!r}")
     h = hashlib.sha256()
     h.update(scope.encode())
     h.update(str(int(graph.n)).encode())
-    for arr in (graph.u, graph.v, graph.tree_mask):
-        h.update(np.ascontiguousarray(arr).tobytes())
-    if scope == "tree":
-        h.update(np.ascontiguousarray(graph.w[graph.tree_mask]).tobytes())
-    elif scope == "full":
-        h.update(np.ascontiguousarray(graph.w).tobytes())
+    if scope in ("tree-structure", "tree"):
+        sel = graph.tree_mask
+        for arr in (graph.u[sel], graph.v[sel]):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        if scope == "tree":
+            h.update(np.ascontiguousarray(graph.w[sel]).tobytes())
+    elif scope in ("nontree-structure", "nontree"):
+        sel = ~graph.tree_mask
+        for arr in (graph.u[sel], graph.v[sel]):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        if scope == "nontree":
+            h.update(np.ascontiguousarray(graph.w[sel]).tobytes())
+    elif scope in ("topology", "full"):
+        for arr in (graph.u, graph.v, graph.tree_mask):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        if scope == "full":
+            h.update(np.ascontiguousarray(graph.w).tobytes())
     return h.hexdigest()[:24]
 
 

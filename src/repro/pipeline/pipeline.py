@@ -94,13 +94,17 @@ class PipelineParams:
 
 
 def graph_fingerprints(graph) -> Dict[str, str]:
-    """All three scope fingerprints of one instance, computed once.
+    """Every scope fingerprint of one instance, computed once.
 
     Stages are keyed by the scope they declare (``Stage.weight_scope``),
-    so a weight-only change re-fingerprints just the weight-reading
-    stages: re-pricing a non-tree edge leaves ``topology`` and ``tree``
-    untouched and the whole validate→lca prefix replays from cache —
-    the service layer's incremental rebuild path.
+    so a change re-fingerprints just the stages whose scope sees it:
+    re-pricing a non-tree edge leaves every tree-scoped key valid and
+    the whole validate→lca prefix replays from cache, and — because
+    subgraph scopes hash edge *subsequences* — a structural batch that
+    only adds/removes non-tree edges still replays the tree-side
+    substrate (rooting, dfs, diameter, clustering). This is the lever
+    the service layer's incremental rebuild and the streaming
+    subsystem's scoped replays stand on.
     """
     from .artifacts import FINGERPRINT_SCOPES
 

@@ -90,10 +90,13 @@ class Stage:
     #: PipelineParams fields that enter this stage's cache key
     params: Tuple[str, ...] = ()
     #: graph-fingerprint scope for this stage's cache key: the
-    #: narrowest of "topology" / "tree" / "full" covering the graph
-    #: data the body reads *directly* (weight dependence reaching it
-    #: through an upstream artifact is carried by the Merkle-chained
-    #: dep keys instead). "full" is the always-safe default.
+    #: narrowest :data:`~repro.pipeline.artifacts.FINGERPRINT_SCOPES`
+    #: entry covering the graph data the body reads *directly*
+    #: (dependence reaching it through an upstream artifact is carried
+    #: by the Merkle-chained dep keys instead). Subgraph scopes hash
+    #: edge subsequences, so e.g. a non-tree-only structural batch
+    #: leaves every tree-scoped key valid. "full" is the always-safe
+    #: default.
     weight_scope: str = "full"
 
     @property
@@ -123,7 +126,7 @@ class Stage:
 class ValidateStage(Stage):
     name = "validate"
     group = "substrate"
-    weight_scope = "topology"
+    weight_scope = "tree-structure"
 
     def compute(self, ctx):
         ok = mpc_is_spanning_tree(ctx.rt, ctx.graph.n, ctx.tu, ctx.tv)
@@ -159,7 +162,7 @@ class DfsStage(Stage):
     group = "substrate"
     deps = ("rooting",)
     params = ("oracle_labels",)
-    weight_scope = "topology"
+    weight_scope = "none"
 
     def compute(self, ctx):
         rooting = ctx.art("rooting")
@@ -178,7 +181,7 @@ class DiameterStage(Stage):
     name = "diameter"
     group = "substrate"
     deps = ("rooting",)
-    weight_scope = "topology"
+    weight_scope = "none"
 
     def compute(self, ctx):
         d_hat, _depths = diameter_estimate(ctx.rt, ctx.art("rooting").parent,
@@ -193,7 +196,7 @@ class ClusteringStage(Stage):
     name = "clustering"
     deps = ("rooting", "dfs", "diameter")
     params = ("coin_bias", "reduction_exponent")
-    weight_scope = "topology"
+    weight_scope = "none"
 
     def compute(self, ctx):
         rooting = ctx.art("rooting")
@@ -210,7 +213,7 @@ class ClusteringStage(Stage):
 class LcaStage(Stage):
     name = "lca"
     deps = ("clustering", "dfs", "diameter")
-    weight_scope = "topology"
+    weight_scope = "nontree-structure"
 
     def compute(self, ctx):
         dfs = ctx.art("dfs")
@@ -224,7 +227,7 @@ class LcaStage(Stage):
 class AdgraphStage(Stage):
     name = "adgraph"
     deps = ("lca",)
-    weight_scope = "full"
+    weight_scope = "nontree"
 
     def compute(self, ctx):
         halves = split_at_lca(ctx.rt, ctx.nu, ctx.nv, ctx.nw,
@@ -236,7 +239,7 @@ class AdgraphStage(Stage):
 class LabelsStage(Stage):
     name = "labels"
     deps = ("clustering", "adgraph", "dfs")
-    weight_scope = "topology"
+    weight_scope = "none"
 
     def compute(self, ctx):
         dfs = ctx.art("dfs")
@@ -250,7 +253,7 @@ class LabelsStage(Stage):
 class PathmaxStage(Stage):
     name = "pathmax"
     deps = ("clustering", "labels", "adgraph")
-    weight_scope = "topology"
+    weight_scope = "none"
 
     def compute(self, ctx):
         labeled = ctx.art("labels").labeled(ctx.art("adgraph").half_edges())
@@ -262,7 +265,7 @@ class PathmaxStage(Stage):
 class DecideStage(Stage):
     name = "decide"
     deps = ("adgraph", "pathmax")
-    weight_scope = "full"
+    weight_scope = "nontree"
 
     def compute(self, ctx):
         rt = ctx.rt
@@ -292,7 +295,7 @@ class DecideStage(Stage):
 class SensContractStage(Stage):
     name = "sens-contract"
     deps = ("clustering", "adgraph", "dfs")
-    weight_scope = "topology"
+    weight_scope = "none"
 
     def compute(self, ctx):
         dfs = ctx.art("dfs")
@@ -310,7 +313,7 @@ class SensContractStage(Stage):
 class SensClusterStage(Stage):
     name = "sens-cluster"
     deps = ("clustering", "sens-contract")
-    weight_scope = "topology"
+    weight_scope = "none"
 
     def compute(self, ctx):
         contract = ctx.art("sens-contract")
@@ -329,7 +332,7 @@ class SensClusterStage(Stage):
 class SensUnwindStage(Stage):
     name = "sens-unwind"
     deps = ("clustering", "sens-cluster", "dfs")
-    weight_scope = "topology"
+    weight_scope = "none"
 
     def compute(self, ctx):
         dfs = ctx.art("dfs")
@@ -342,7 +345,7 @@ class SensUnwindStage(Stage):
 class SensFinalizeStage(Stage):
     name = "sens-finalize"
     deps = ("sens-contract", "sens-cluster", "sens-unwind")
-    weight_scope = "topology"
+    weight_scope = "none"
 
     def compute(self, ctx):
         rt = ctx.rt

@@ -16,6 +16,15 @@ over replicas, propagates backpressure, and ships rebuilt generations
 to replicas as digest-addressed snapshot files instead of repeating
 the rebuild. See DESIGN.md §6.2.
 
+The streaming tier (S23) makes the graphs *dynamic*: clients stream
+batched structural ops (``add_edge`` / ``remove_edge`` / re-pricings,
+wire op ``update_batch``) through a per-instance
+:class:`StreamIngestor` that bounds, coalesces and classifies each
+batch; non-tree-only batches replay only the per-edge stages' delta
+rows against subgraph-scoped fingerprints, and each applied batch is
+one atomic generation swap (re-sharded for the new edge count, shipped
+to replicas unchanged). See DESIGN.md §6.3.
+
 Entry points: ``python -m repro serve`` / ``python -m repro route``
 (TCP JSON-lines), :class:`ServiceClient` (in-process or TCP),
 :mod:`repro.service.loadgen`.
@@ -23,12 +32,13 @@ Entry points: ``python -m repro serve`` / ``python -m repro route``
 
 from .batching import QUERY_OPS, MicroBatcher, ServiceOverloaded
 from .metrics import (LatencyReservoir, RouterMetrics, ShardMetrics,
-                      UpdateMetrics, merged_latency)
+                      StreamMetrics, UpdateMetrics, merged_latency)
 from .placement import Placement
 from .router import RouterConfig, RouterTier, WorkerLink
 from .server import SensitivityService, ServiceClient, ServiceConfig
 from .shards import OracleShard, ShardSpec, plan_shards, route
-from .updates import InstanceUpdater, UpdateReport
+from .streaming import StreamIngestor
+from .updates import BatchReport, InstanceUpdater, UpdateReport
 from .worker_proc import WorkerSpec, WorkerService, worker_entry
 
 __all__ = [
@@ -38,6 +48,7 @@ __all__ = [
     "LatencyReservoir",
     "RouterMetrics",
     "ShardMetrics",
+    "StreamMetrics",
     "UpdateMetrics",
     "merged_latency",
     "Placement",
@@ -51,7 +62,9 @@ __all__ = [
     "ShardSpec",
     "plan_shards",
     "route",
+    "StreamIngestor",
     "InstanceUpdater",
+    "BatchReport",
     "UpdateReport",
     "WorkerSpec",
     "WorkerService",

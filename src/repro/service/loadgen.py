@@ -25,12 +25,20 @@ running: a side connection probes tree edges until one update reports
 which on a router deployment forces a digest-shipped generation swap
 under load. The run fails if any query fails around the swap.
 
+``--churn RATE`` streams *structural* batches (wire op
+``update_batch``: add / reprice / remove cycles of heavy non-tree
+edges) at RATE batches per second on a side connection while the query
+storm runs — every applied batch is a generation swap under load, and
+the run fails unless at least two swaps landed with zero errors.
+
 CLI (used by CI)::
 
     python -m repro.service.loadgen --port 7464 --queries 3000 \
         --clients 16 --shutdown
     python -m repro.service.loadgen --port 7465 --queries 5000 \
         --procs 2 --pipeline 32 --live-update --shutdown
+    python -m repro.service.loadgen --port 7465 --queries 5000 \
+        --churn 20 --churn-batch 8 --shutdown
 
 Exit status is non-zero when nothing was served or any transport-level
 error occurred (wrong-edge-kind responses are the service answering
@@ -49,7 +57,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = ["QueryPlan", "make_plan", "run_inprocess", "run_tcp",
-           "run_procs", "live_update", "main"]
+           "run_procs", "live_update", "churn_storm", "main"]
 
 #: op → relative frequency in the default mix.
 DEFAULT_MIX = (
@@ -395,6 +403,92 @@ async def live_update(host: str, port: int, instance: str, m_tree: int,
         writer.close()
 
 
+async def churn_storm(host: str, port: int, instance: str, n: int, m: int,
+                      rate: float, batch: int,
+                      stop_evt: asyncio.Event) -> Dict:
+    """Stream structural batches (``update_batch``) while the storm runs.
+
+    Cycles add → reprice → remove over its own connection at ``rate``
+    batches per second until ``stop_evt`` is set. Added edges carry
+    weights far above the instance's tree weights, so they join as
+    non-tree edges and every batch takes the scoped splice path on the
+    primary — each applied batch is still a full generation swap
+    (digest-shipped to replicas on a router deployment). Edge ids are
+    tracked from the reports' authoritative ``m``, so the generator
+    never races its own id predictions. Sheds are tallied and retried;
+    anything else non-ok is an error.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    stats: Dict = {"batches_sent": 0, "applied": 0, "shed": 0,
+                   "rejected": 0, "errors": 0, "scoped": 0,
+                   "generations": set(), "last_error": None}
+    heavy = 1e9   # above any generator weight: stays non-tree forever
+    phase = 0     # 0 = add, 1 = reprice, 2 = remove
+    added: List[int] = []
+    period = 1.0 / rate if rate > 0 else 0.0
+    try:
+        while not stop_evt.is_set():
+            if phase == 0:
+                ops = []
+                for j in range(batch):
+                    u = j % n
+                    v = (j * 7 + 1) % n
+                    if v == u:
+                        v = (v + 1) % n
+                    ops.append({"kind": "add", "u": u, "v": v,
+                                "weight": heavy + j})
+            elif phase == 1:
+                ops = [{"kind": "reprice", "edge": e,
+                        "weight": heavy + 100 + k}
+                       for k, e in enumerate(added)]
+            else:
+                ops = [{"kind": "remove", "edge": e} for e in added]
+            if not ops:                     # nothing to touch this phase
+                phase = (phase + 1) % 3
+                continue
+            req = {"op": "update_batch", "instance": instance, "ops": ops}
+            writer.write((json.dumps(req) + "\n").encode())
+            try:
+                await writer.drain()
+                line = await reader.readline()
+            except (ConnectionError, OSError):
+                line = b""
+            if not line:
+                stats["errors"] += 1
+                stats["last_error"] = "connection closed mid-churn"
+                break
+            resp = json.loads(line)
+            stats["batches_sent"] += 1
+            if resp.get("shed"):
+                stats["shed"] += 1          # back off, retry this phase
+            elif resp.get("ok"):
+                stats["applied"] += 1
+                stats["generations"].add(resp.get("generation"))
+                if resp.get("scoped"):
+                    stats["scoped"] += 1
+                if phase == 0:
+                    added = list(range(int(resp["m"]) - batch,
+                                       int(resp["m"])))
+                elif phase == 2:
+                    added = []
+                phase = (phase + 1) % 3
+            elif resp.get("action") == "rejected":
+                stats["rejected"] += 1      # structural no: skip the phase
+                phase = (phase + 1) % 3
+            else:
+                stats["errors"] += 1
+                stats["last_error"] = resp.get("error")
+            try:
+                await asyncio.wait_for(stop_evt.wait(), max(period, 1e-3))
+            except asyncio.TimeoutError:
+                pass
+    finally:
+        writer.close()
+    stats["generations"] = sorted(
+        g for g in stats["generations"] if g is not None)
+    return stats
+
+
 def _proc_entry(conn, kwargs: Dict) -> None:
     """One forked loadgen process: drive a seeded slice, pipe stats up."""
     async def go() -> None:
@@ -531,6 +625,14 @@ async def _main_async(args) -> int:
             args.host, args.port, name, m_tree,
             delay_s=args.update_delay))
 
+    churn_task, churn_stop = None, None
+    if args.churn > 0:
+        name = sorted(described)[0]
+        churn_stop = asyncio.Event()
+        churn_task = asyncio.create_task(churn_storm(
+            args.host, args.port, name, described[name]["n"],
+            instances[name], args.churn, args.churn_batch, churn_stop))
+
     if args.procs > 1:
         stats = await run_procs(
             args.host, args.port, instances, args.queries,
@@ -543,6 +645,23 @@ async def _main_async(args) -> int:
                               clients=args.clients,
                               connect_timeout_s=args.connect_timeout,
                               pipeline=args.pipeline)
+    churn_ok = True
+    if churn_task is not None:
+        churn_stop.set()
+        churn = await churn_task
+        gens = churn["generations"]
+        churn_ok = (churn["errors"] == 0 and churn["applied"] >= 2
+                    and len(gens) >= 2)
+        line = (f"churn: {churn['applied']} of {churn['batches_sent']} "
+                f"batches applied ({churn['scoped']} scoped), "
+                f"{churn['shed']} shed, {churn['rejected']} rejected, "
+                f"{len(gens)} generation swaps"
+                + (f" (gen {gens[0]}..{gens[-1]})" if gens else ""))
+        if churn_ok:
+            print(line)
+        else:
+            print(f"churn FAILED: {line}; errors {churn['errors']} "
+                  f"({churn['last_error']})", file=sys.stderr)
     update_ok = True
     if update_task is not None:
         upd = await update_task
@@ -572,7 +691,7 @@ async def _main_async(args) -> int:
           f"shed {s['shed']}, transport errors {s['errors']}, "
           f"p50 {s['p50_ms']}ms p99 {s['p99_ms']}ms")
     ok = (s["answered"] > 0 and s["qps"] > 0 and s["errors"] == 0
-          and update_ok)
+          and update_ok and churn_ok)
     return 0 if ok else 1
 
 
@@ -593,6 +712,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--pipeline", type=int, default=1,
                     help="requests kept in flight per connection "
                          "(responses correlate positionally)")
+    ap.add_argument("--churn", type=float, default=0.0, metavar="RATE",
+                    help="stream structural update_batch ops at RATE "
+                         "batches/s while the storm runs (add/reprice/"
+                         "remove cycles of heavy non-tree edges)")
+    ap.add_argument("--churn-batch", type=int, default=8,
+                    help="structural ops per churn batch")
     ap.add_argument("--live-update", action="store_true",
                     help="force one rebuild-forcing update mid-storm "
                          "(on a router: a digest-shipped generation swap)")

@@ -16,7 +16,7 @@ from typing import Dict, Optional
 import numpy as np
 
 __all__ = ["LatencyReservoir", "ShardMetrics", "UpdateMetrics",
-           "RouterMetrics", "merged_latency"]
+           "StreamMetrics", "RouterMetrics", "merged_latency"]
 
 
 class LatencyReservoir:
@@ -130,6 +130,72 @@ class UpdateMetrics:
             "stages_executed": self.stages_executed,
             "stages_cached": self.stages_cached,
             "rebuild_wall_s": round(self.rebuild_wall_s, 4),
+        }
+
+
+class StreamMetrics:
+    """Streaming write-path counters (per instance).
+
+    One :class:`~repro.service.streaming.StreamIngestor` updates these
+    per *applied* batch: how many wire requests were absorbed into it
+    (``requests_merged``), how many structural ops arrived vs survived
+    coalescing, whether the rebuild took the scoped splice path or a
+    full replay, and the end-to-end apply latency (enqueue → generation
+    installed). ``coalesce_ratio`` is ops-in over ops-applied — 1.0
+    means nothing merged, 2.0 means half the wire ops were absorbed by
+    last-op-wins coalescing before touching the pipeline.
+    """
+
+    def __init__(self, reservoir: int = 1024):
+        self.batches_applied = 0
+        self.requests_received = 0
+        self.requests_merged = 0     # absorbed into an earlier apply
+        self.ops_received = 0
+        self.ops_applied = 0         # post-coalesce, post-rejection
+        self.shed = 0
+        self.rejected_batches = 0
+        self.scoped_replays = 0      # splice path: delta rows only
+        self.full_replays = 0        # tree-affecting: honest re-run
+        self.stages_spliced = 0
+        self.latency = LatencyReservoir(reservoir)
+
+    def record(self, report, requests: int, latency_s: float) -> None:
+        """Fold one drained batch in (``report`` is a BatchReport)."""
+        self.requests_received += requests
+        self.requests_merged += requests - 1
+        self.ops_received += report.n_ops
+        if report.action == "rejected":
+            self.rejected_batches += 1
+            return
+        self.batches_applied += 1
+        self.ops_applied += report.n_applied
+        self.stages_spliced += report.stages_spliced
+        if report.scoped:
+            self.scoped_replays += 1
+        else:
+            self.full_replays += 1
+        self.latency.extend([latency_s])
+
+    def snapshot(self) -> Dict:
+        mean_batch = (self.ops_applied / self.batches_applied
+                      if self.batches_applied else 0.0)
+        ratio = (self.ops_received / self.ops_applied
+                 if self.ops_applied else None)
+        return {
+            "batches_applied": self.batches_applied,
+            "requests_received": self.requests_received,
+            "requests_merged": self.requests_merged,
+            "ops_received": self.ops_received,
+            "ops_applied": self.ops_applied,
+            "mean_batch_size": round(mean_batch, 2),
+            "coalesce_ratio": round(ratio, 3) if ratio is not None else None,
+            "shed": self.shed,
+            "rejected_batches": self.rejected_batches,
+            "scoped_replays": self.scoped_replays,
+            "full_replays": self.full_replays,
+            "stages_spliced": self.stages_spliced,
+            "apply_p50_ms": _ms(self.latency.percentile(50)),
+            "apply_p99_ms": _ms(self.latency.percentile(99)),
         }
 
 

@@ -482,24 +482,7 @@ class RouterTier:
                         "error_kind": "worker-disconnected"}
             others = [self.workers[wid] for wid in placed.replicas[1:]]
             if resp.get("action") == "rebuilt" and others:
-                swap = {"op": "swap", "instance": placed.name,
-                        "path": resp["snapshot_path"],
-                        "digest": resp["snapshot_digest"],
-                        "generation": resp["generation"]}
-                t0 = time.perf_counter()
-                acks = await asyncio.gather(
-                    *(w.control.request(swap) for w in others),
-                    return_exceptions=True)
-                self.metrics.swap_latency.extend(
-                    [time.perf_counter() - t0])
-                self.metrics.swaps_shipped += len(others)
-                resp["shipped_to"] = []
-                for w, ack in zip(others, acks):
-                    ok = isinstance(ack, dict) and ack.get("ok")
-                    if not ok:
-                        self.metrics.worker_errors += 1
-                    resp["shipped_to"].append(
-                        {"worker": w.worker_id, "ok": bool(ok)})
+                await self._ship_swap(placed, resp, others)
             elif resp.get("action") == "patched" and others:
                 acks = await asyncio.gather(
                     *(w.control.request(fwd) for w in others),
@@ -511,6 +494,68 @@ class RouterTier:
                         self.metrics.worker_errors += 1
             if resp.get("action") == "rebuilt":
                 placed.generation = int(resp["generation"])
+        return resp
+
+    async def _ship_swap(self, placed: _Placed, resp: Dict,
+                         others: List[_Worker]) -> None:
+        """Ship a primary rebuild's snapshot to the other replicas.
+
+        The primary already published the digest-addressed file into
+        the shared spool; replicas get ``(path, digest, generation)``
+        and adopt by mmap — the rebuild itself never repeats.
+        """
+        swap = {"op": "swap", "instance": placed.name,
+                "path": resp["snapshot_path"],
+                "digest": resp["snapshot_digest"],
+                "generation": resp["generation"]}
+        t0 = time.perf_counter()
+        acks = await asyncio.gather(
+            *(w.control.request(swap) for w in others),
+            return_exceptions=True)
+        self.metrics.swap_latency.extend([time.perf_counter() - t0])
+        self.metrics.swaps_shipped += len(others)
+        resp["shipped_to"] = []
+        for w, ack in zip(others, acks):
+            ok = isinstance(ack, dict) and ack.get("ok")
+            if not ok:
+                self.metrics.worker_errors += 1
+            resp["shipped_to"].append(
+                {"worker": w.worker_id, "ok": bool(ok)})
+
+    async def update_batch(self, req: Dict) -> Dict:
+        """Forward a structural batch to the primary, ship the swap.
+
+        The streaming write path is primary-only, exactly like point
+        updates: the primary's ingestor coalesces and rebuilds once
+        (scoped when the batch is non-tree-only), publishes the new
+        generation's snapshot, and the router ships ``(path, digest,
+        generation)`` to the replicas — whose ``swap`` re-plans shards
+        when the edge count changed. Routing facts (``m``, ``m_tree``,
+        generation) refresh from the batch report so new edge ids
+        route immediately.
+        """
+        try:
+            placed = self._placed(req.get("instance"))
+        except ValidationError as exc:
+            return {"ok": False, "error": str(exc)}
+        primary = self.workers[placed.replicas[0]]
+        fwd = {"op": "update_batch", "instance": placed.name,
+               "ops": req.get("ops") or []}
+        async with placed.lock:  # one structural change in flight
+            self.metrics.updates += 1
+            try:
+                resp = await primary.control.request(fwd)
+            except ServiceError as exc:
+                self.metrics.worker_errors += 1
+                return {"ok": False, "error": str(exc),
+                        "error_kind": "worker-disconnected"}
+            if resp.get("action") == "rebuilt":
+                others = [self.workers[wid] for wid in placed.replicas[1:]]
+                if others:
+                    await self._ship_swap(placed, resp, others)
+                placed.generation = int(resp["generation"])
+                placed.m = int(resp.get("m", placed.m))
+                placed.m_tree = int(resp.get("m_tree", placed.m_tree))
         return resp
 
     # -- introspection ---------------------------------------------------------
@@ -586,6 +631,8 @@ class RouterTier:
             return json.loads(raw)
         if op == "update":
             resp = await self.update(req)
+        elif op == "update_batch":
+            resp = await self.update_batch(req)
         elif op == "metrics":
             resp = {"ok": True, "result": await self.router_metrics()}
         elif op == "depth":

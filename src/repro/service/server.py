@@ -24,7 +24,9 @@ Two front doors share one dispatch path:
   both ends.
 
 Wire ops: the four point queries (``sensitivity`` / ``survives`` /
-``replacement_edge`` / ``entry_threshold``), ``update``, ``metrics``,
+``replacement_edge`` / ``entry_threshold``), ``update``,
+``update_batch`` (streamed structural ops — see
+:mod:`repro.service.streaming`), ``metrics``, ``depth``,
 ``instances``, ``ping``, ``shutdown``. Overload is a structured
 ``{"ok": false, "shed": true}`` response, not an ever-growing queue.
 """
@@ -45,7 +47,8 @@ from ..pipeline import ArtifactStore
 from .batching import QUERY_OPS, MicroBatcher, ServiceOverloaded
 from .metrics import merged_latency
 from .shards import OracleShard, ShardSpec, plan_shards, route
-from .updates import InstanceUpdater, UpdateReport
+from .streaming import StreamIngestor
+from .updates import BatchReport, InstanceUpdater, UpdateReport
 
 __all__ = ["ServiceConfig", "SensitivityService", "ServiceClient"]
 
@@ -63,6 +66,7 @@ class ServiceConfig:
     config: Optional[MPCConfig] = None
     cache_dir: Optional[str] = None  #: persistent artifact store
     mmap_dir: Optional[str] = None   #: share oracle snapshots via mmap
+    stream_depth: int = 64           #: pending structural batches before shed
     host: str = "127.0.0.1"
     port: int = 7464
 
@@ -74,6 +78,7 @@ class _Instance:
     shards: List[OracleShard]
     batchers: List[MicroBatcher]
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    ingestor: Optional[StreamIngestor] = None  #: created on first batch
 
     @property
     def specs(self) -> List[ShardSpec]:
@@ -173,6 +178,8 @@ class SensitivityService:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         for inst in self.instances.values():
+            if inst.ingestor is not None:
+                await inst.ingestor.stop()
             for b in inst.batchers:
                 await b.stop()
         self._started = False
@@ -260,12 +267,96 @@ class SensitivityService:
         except (ValidationError, TypeError, ValueError) as exc:
             return {"ok": False, "error": str(exc)}
         async with inst.lock:
-            report: UpdateReport = await asyncio.get_running_loop() \
-                .run_in_executor(None, inst.updater.apply, inst.shards,
-                                 edge, weight)
+            try:
+                report: UpdateReport = await asyncio.get_running_loop() \
+                    .run_in_executor(None, inst.updater.apply, inst.shards,
+                                     edge, weight)
+            except ServiceError as exc:
+                return {"ok": False, "error": str(exc),
+                        "error_kind": exc.kind}
         out = report.to_dict()
         out["ok"] = report.action != "rejected"
         return out
+
+    # -- streaming structural write path ---------------------------------------
+
+    async def update_batch(self, ops, instance: Optional[str] = None) -> Dict:
+        """Stream one batch of structural ops through the ingestor.
+
+        The per-instance :class:`StreamIngestor` bounds, coalesces and
+        serialises structural batches; concurrent callers may find
+        their ops folded into a single rebuild (the response then
+        carries ``coalesced_requests > 1`` and the shared report).
+        """
+        try:
+            inst = self._instance(instance)
+        except ValidationError as exc:
+            return {"ok": False, "error": str(exc)}
+        if inst.ingestor is None:
+            inst.ingestor = StreamIngestor(self, inst.name,
+                                           depth=self.config.stream_depth)
+        return await inst.ingestor.submit(ops)
+
+    async def _apply_structural(self, instance: str, ops) -> Dict:
+        """Apply one coalesced op batch and install the new generation.
+
+        Runs on the ingestor's drain loop: the rebuild happens on a
+        worker thread under the instance update lock (reads keep
+        flowing from the old generation), then the shard plan for the
+        new edge count and the new shard/batcher tuples are swapped in
+        **synchronously** — ``submit_nowait`` reads specs and batchers
+        with no await between them, so it sees old or new, never a mix.
+        Old batchers drain their queued queries on the generation they
+        were routed to before stopping.
+        """
+        inst = self.instances[instance]
+        async with inst.lock:
+            report: BatchReport = await asyncio.get_running_loop() \
+                .run_in_executor(None, inst.updater.apply_batch, list(ops))
+            old_batchers: List[MicroBatcher] = []
+            if report.action == "rebuilt":
+                old_batchers = self._install_generation(inst, report)
+        for b in old_batchers:
+            await b.stop()
+        out = report.to_dict()
+        out["ok"] = report.action != "rejected"
+        out["report"] = report  # for StreamMetrics; popped by the ingestor
+        return out
+
+    def _install_generation(self, inst: _Instance,
+                            report: BatchReport) -> List[MicroBatcher]:
+        """Re-plan shards for the new ``m`` and swap — synchronously.
+
+        Returns the superseded batchers for the caller to drain/stop
+        outside the instance lock.
+        """
+        cfg = self.config
+        updater = inst.updater
+        specs = plan_shards(updater.graph.m, cfg.shards)
+        oracles = updater.shard_oracles(len(specs))
+        shards = [OracleShard(spec, orc, generation=updater.generation)
+                  for spec, orc in zip(specs, oracles)]
+        batchers = [
+            MicroBatcher(s, max_batch=cfg.max_batch,
+                         window_s=cfg.batch_window_s,
+                         queue_depth=cfg.queue_depth)
+            for s in shards
+        ]
+        # shard counters survive the reshard (positionally: the shard
+        # count only shrinks when m collapses below cfg.shards)
+        for new, old in zip(shards, inst.shards):
+            new.metrics = old.metrics
+        old_batchers = inst.batchers
+        inst.shards = shards          # no await between these two
+        inst.batchers = batchers      # assignments: atomic vs the loop
+        if self._started:
+            for b in batchers:
+                b.start()
+        for s in inst.shards:
+            s.metrics.swaps += 1
+        report.snapshot_path = updater.snapshot_path
+        report.snapshot_digest = updater.snapshot_digest
+        return old_batchers
 
     # -- introspection ---------------------------------------------------------
 
@@ -302,6 +393,8 @@ class SensitivityService:
                 "updates": inst.updater.metrics.snapshot(),
                 "store": inst.updater.store.stats(),
             }
+            if inst.ingestor is not None:
+                per_instance[name]["stream"] = inst.ingestor.metrics.snapshot()
         return {
             "uptime_s": round(uptime, 3),
             "queries": total_queries,
@@ -345,6 +438,9 @@ class SensitivityService:
             resp = await self.update(req.get("edge", -1),
                                      req.get("weight", float("nan")),
                                      instance=req.get("instance"))
+        elif op == "update_batch":
+            resp = await self.update_batch(req.get("ops"),
+                                           instance=req.get("instance"))
         elif op == "metrics":
             resp = {"ok": True, "result": self.metrics()}
         elif op == "depth":
@@ -561,6 +657,10 @@ class ServiceClient:
 
     async def update(self, edge: int, weight: float, **kw) -> Dict:
         return await self.call("update", edge=edge, weight=weight, **kw)
+
+    async def update_batch(self, ops, **kw) -> Dict:
+        """Submit one structural batch (add/remove/reprice op dicts)."""
+        return await self.call("update_batch", ops=list(ops), **kw)
 
     async def metrics(self) -> Dict:
         return await self._value("metrics")

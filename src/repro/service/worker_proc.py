@@ -174,7 +174,16 @@ class WorkerService(SensitivityService):
                            "generation": inst.updater.generation}}
 
     async def _swap(self, req: Dict) -> Dict:
-        """Atomically adopt a newer generation under live reads."""
+        """Atomically adopt a newer generation under live reads.
+
+        A same-``m`` swap (a re-priced edge rebuilt on the primary) is
+        an in-place shard swap. A structural generation (the primary
+        applied an ``update_batch`` that grew or shrank the edge set)
+        re-plans the edge-range shards for the new ``m``, rebuilds the
+        shard/batcher tuples and swaps them in one synchronous block —
+        the same discipline as the in-process install, so concurrent
+        routing sees old or new, never a mix.
+        """
         try:
             name = req["instance"]
             path, digest = req["path"], req["digest"]
@@ -182,24 +191,65 @@ class WorkerService(SensitivityService):
             inst = self._instance(name)
         except (KeyError, ValidationError, ValueError) as exc:
             return {"ok": False, "error": f"swap failed: {exc}"}
+        cfg = self.config
+        old_batchers = []
         async with inst.lock:  # serialise against local updates
+            new_m = self._snapshot_m(path, digest)
+            m_changed = inst.updater.graph.m != new_m
+            specs = (plan_shards(new_m, cfg.shards) if m_changed
+                     else [s.spec for s in inst.shards])
             try:
                 oracles = await asyncio.get_running_loop().run_in_executor(
-                    None, _verified_load, path, digest,
-                    len(inst.shards) + 1)
+                    None, _verified_load, path, digest, len(specs) + 1)
             except (ValidationError, OSError, ValueError) as exc:
                 return {"ok": False, "error": f"swap failed: {exc}"}
             updater = inst.updater
-            updater.oracle = oracles[-1]
+            template = oracles[-1]
+            updater.oracle = template
             updater.generation = generation
             updater.snapshot_path = path
             updater.snapshot_digest = digest
-            # refresh the authoritative weights from the new generation
-            updater.graph.w[:] = updater.oracle.w
-            for shard, orc in zip(inst.shards, oracles):
-                shard.swap(orc, generation)
+            if len(template) == updater.graph.m:
+                # refresh the authoritative weights (and tree membership
+                # — a rebuilt re-pricing can swap edges in or out of the
+                # candidate tree) from the new generation
+                updater.graph.w[:] = template.w
+                updater.graph.tree_mask[:] = template.tree_mask
+                for shard, orc in zip(inst.shards, oracles):
+                    shard.swap(orc, generation)
+            else:
+                # structural generation: new authoritative graph + a
+                # fresh shard plan over the new edge count
+                updater.graph = WeightedGraph(
+                    n=len(template.parent), u=template.u.copy(),
+                    v=template.v.copy(), w=template.w.copy(),
+                    tree_mask=template.tree_mask.copy(),
+                )
+                updater.last_run = None
+                updater._splice_fp = None
+                shards = [OracleShard(spec, orc, generation=generation)
+                          for spec, orc in zip(specs, oracles)]
+                for new, old in zip(shards, inst.shards):
+                    new.metrics = old.metrics
+                batchers = [
+                    MicroBatcher(s, max_batch=cfg.max_batch,
+                                 window_s=cfg.batch_window_s,
+                                 queue_depth=cfg.queue_depth)
+                    for s in shards
+                ]
+                old_batchers = inst.batchers
+                inst.shards = shards      # synchronous swap: no await
+                inst.batchers = batchers  # between the two assignments
+                if self._started:
+                    for b in batchers:
+                        b.start()
+                for s in inst.shards:
+                    s.metrics.swaps += 1
+        for b in old_batchers:
+            await b.stop()
         return {"ok": True,
-                "result": {"instance": name, "generation": generation}}
+                "result": {"instance": name, "generation": generation,
+                           "m": inst.updater.graph.m}}
 
 
 async def _worker_async(conn, spec: WorkerSpec) -> None:

@@ -1,0 +1,157 @@
+"""Subgraph-scoped graph fingerprints (the streaming replay lever).
+
+``graph_fingerprint(g, scope)`` hashes edge *subsequences*, so a
+structural batch that only touches non-tree edges must leave every
+tree-scoped digest bit-identical — that invariance is exactly what lets
+the streaming subsystem replay the validate→clustering substrate from
+cache after a non-tree add/remove. These tests pin the invariance
+directly, then pin the cache-hit counts it buys on a real store.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.verification import verify_mst
+from repro.graph import apply_ops
+from repro.graph.generators import known_mst_instance
+from repro.pipeline import ArtifactStore, graph_fingerprint
+from repro.pipeline.artifacts import FINGERPRINT_SCOPES
+
+
+def make_graph(n=80, extra=160, seed=3):
+    g, _ = known_mst_instance("random", n, extra_m=extra, rng=seed)
+    return g
+
+
+def fps(g):
+    return {s: graph_fingerprint(g, s) for s in FINGERPRINT_SCOPES}
+
+
+def heavy_add(g, k=3):
+    hi = float(g.w.max())
+    ops = [{"kind": "add", "u": i, "v": i + 7, "weight": hi + 1 + i}
+           for i in range(k)]
+    g2, eff = apply_ops(g, ops)
+    assert not eff.tree_affected and eff.applied == k
+    return g2
+
+
+class TestScopeAlgebra:
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError, match="unknown fingerprint scope"):
+            graph_fingerprint(make_graph(), "everything")
+
+    def test_none_scope_sees_only_n(self):
+        a, b = make_graph(seed=1), make_graph(seed=2)
+        assert graph_fingerprint(a, "none") == graph_fingerprint(b, "none")
+        c = make_graph(n=81, seed=1)
+        assert graph_fingerprint(a, "none") != graph_fingerprint(c, "none")
+
+    def test_scopes_are_domain_separated(self):
+        # same graph, different scopes → different digests (the scope
+        # name is hashed in, so an empty non-tree side can't collide
+        # with an empty tree side)
+        d = fps(make_graph())
+        assert len(set(d.values())) == len(FINGERPRINT_SCOPES)
+
+    def test_tree_scopes_invariant_under_nontree_add(self):
+        g = make_graph()
+        before = fps(g)
+        after = fps(heavy_add(g))
+        for s in ("none", "tree-structure", "tree"):
+            assert after[s] == before[s], s
+        for s in ("nontree-structure", "nontree", "topology", "full"):
+            assert after[s] != before[s], s
+
+    def test_tree_scopes_invariant_under_nontree_remove(self):
+        g = make_graph()
+        before = fps(g)
+        e = int(np.flatnonzero(~g.tree_mask)[0])
+        g2, eff = apply_ops(g, [{"kind": "remove", "edge": e}])
+        assert not eff.tree_affected
+        after = fps(g2)
+        for s in ("none", "tree-structure", "tree"):
+            assert after[s] == before[s], s
+        for s in ("nontree-structure", "nontree", "topology", "full"):
+            assert after[s] != before[s], s
+
+    def test_nontree_reprice_touches_only_weight_scopes(self):
+        g = make_graph()
+        before = fps(g)
+        e = int(np.flatnonzero(~g.tree_mask)[0])
+        g2, eff = apply_ops(
+            g, [{"kind": "reprice", "edge": e,
+                 "weight": float(g.w.max()) + 9}])
+        assert not eff.tree_affected
+        after = fps(g2)
+        # endpoints and membership unchanged: every structure scope holds
+        for s in ("none", "tree-structure", "tree",
+                  "nontree-structure", "topology"):
+            assert after[s] == before[s], s
+        for s in ("nontree", "full"):
+            assert after[s] != before[s], s
+
+    def test_tree_reprice_touches_only_tree_weight_scopes(self):
+        g = make_graph()
+        before = fps(g)
+        # raise a tree edge a hair — small enough to stay in the tree
+        e = int(np.flatnonzero(g.tree_mask)[0])
+        g2, eff = apply_ops(
+            g, [{"kind": "reprice", "edge": e,
+                 "weight": float(g.w[e]) + 1e-9}])
+        assert eff.tree_affected and bool(g2.tree_mask[e])
+        after = fps(g2)
+        for s in ("none", "tree-structure", "nontree-structure",
+                  "nontree", "topology"):
+            assert after[s] == before[s], s
+        for s in ("tree", "full"):
+            assert after[s] != before[s], s
+
+
+class TestReplayCounts:
+    """What the invariance buys: cached prefixes on a real store."""
+
+    def test_nontree_structural_change_replays_substrate(self):
+        g = make_graph()
+        store = ArtifactStore()
+        base = verify_mst(g, store=store)
+        h0 = store.hits
+        after = verify_mst(heavy_add(g), store=store)
+        # validate (tree-structure), rooting (tree) and the three
+        # scope-"none" substrate stages replay; lca's
+        # nontree-structure scope broke, so lca..decide recompute
+        assert store.hits - h0 == 5
+        assert after.is_mst and base.is_mst
+
+    def test_nontree_reprice_replays_through_lca(self):
+        g = make_graph()
+        store = ArtifactStore()
+        verify_mst(g, store=store)
+        h0 = store.hits
+        e = int(np.flatnonzero(~g.tree_mask)[0])
+        g2, _ = apply_ops(
+            g, [{"kind": "reprice", "edge": e,
+                 "weight": float(g.w.max()) + 2}])
+        after = verify_mst(g2, store=store)
+        # non-tree *weights* moved but no structure did: lca
+        # (nontree-structure) replays too — 6 cached, adgraph onward new
+        assert store.hits - h0 == 6
+        assert after.is_mst
+
+    def test_tree_structural_change_shares_only_scopeless_roots(self):
+        g = make_graph()
+        store = ArtifactStore()
+        verify_mst(g, store=store)
+        h0 = store.hits
+        # a cheap add swaps the tree: every tree-scoped key breaks, and
+        # the demoted edge lands in the non-tree side too
+        g2, eff = apply_ops(g, [{"kind": "add", "u": 0, "v": g.n // 2,
+                                 "weight": float(g.w.min()) / 2}])
+        assert eff.tree_affected
+        after = verify_mst(g2, store=store)
+        assert store.hits == h0  # nothing replays: no scope-"none" roots
+        assert after.is_mst
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,191 @@
+"""Exact MST maintenance under batched structural ops.
+
+:func:`repro.graph.mutations.apply_ops` claims to repair the candidate
+MST *exactly* for every op kind — the load-bearing property of the
+streaming write path (the scoped splice is only sound because the
+batch classifier knows, not guesses, whether the tree moved). Every
+scenario here pins the repaired tree against Kruskal on the mutated
+edge set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import kruskal_mst
+from repro.graph import WeightedGraph, apply_ops, coalesce_ops
+from repro.graph.generators import known_mst_instance
+
+
+def make_graph(n=80, extra=160, seed=3):
+    g, _ = known_mst_instance("random", n, extra_m=extra, rng=seed)
+    return g
+
+
+def assert_exact_mst(g: WeightedGraph):
+    """The flagged tree must be *the* minimum spanning tree."""
+    idx, weight = kruskal_mst(g)
+    assert np.isclose(float(g.w[g.tree_mask].sum()), weight)
+    # distinct random weights: the MST is unique, index sets must agree
+    if len(np.unique(g.w)) == g.m:
+        assert np.array_equal(np.flatnonzero(g.tree_mask), idx)
+
+
+class TestCoalesce:
+    def test_last_op_wins_per_edge(self):
+        ops = [
+            {"kind": "reprice", "edge": 3, "weight": 1.0},
+            {"kind": "reprice", "edge": 3, "weight": 2.0},
+            {"kind": "reprice", "edge": 5, "weight": 9.0},
+        ]
+        out = coalesce_ops(ops)
+        assert len(out) == 2
+        assert out[0] == {"kind": "reprice", "edge": 3, "weight": 2.0}
+        assert out[1]["edge"] == 5
+
+    def test_remove_is_terminal(self):
+        ops = [
+            {"kind": "remove", "edge": 7},
+            {"kind": "reprice", "edge": 7, "weight": 0.5},
+        ]
+        out = coalesce_ops(ops)
+        assert out == [{"kind": "remove", "edge": 7}]
+
+    def test_adds_never_coalesce_and_keep_order(self):
+        ops = [
+            {"kind": "add", "u": 0, "v": 1, "weight": 5.0},
+            {"kind": "remove", "edge": 2},
+            {"kind": "add", "u": 1, "v": 2, "weight": 6.0},
+        ]
+        out = coalesce_ops(ops)
+        # edge ops first (first-seen order), then adds in arrival order
+        assert [o["kind"] for o in out] == ["remove", "add", "add"]
+        assert out[1]["weight"] == 5.0 and out[2]["weight"] == 6.0
+
+
+class TestApplyOps:
+    def test_heavy_adds_stay_nontree(self):
+        g = make_graph()
+        hi = float(g.w.max())
+        ops = [{"kind": "add", "u": i, "v": i + 17, "weight": hi + 1 + i}
+               for i in range(6)]
+        g2, eff = apply_ops(g, ops)
+        assert eff.applied == 6 and not eff.tree_affected
+        assert g2.m == g.m + 6
+        assert not g2.tree_mask[g.m:].any()
+        assert list(eff.added_ids) == list(range(g.m, g.m + 6))
+        assert_exact_mst(g2)
+
+    def test_cheap_add_swaps_in(self):
+        g = make_graph()
+        # an edge strictly cheaper than everything must enter the tree
+        g2, eff = apply_ops(g, [{"kind": "add", "u": 0, "v": g.n // 2,
+                                 "weight": float(g.w.min()) / 2}])
+        assert eff.applied == 1 and eff.tree_affected
+        assert g2.tree_mask[g.m]
+        assert g2.m_tree == g.m_tree  # one in, one demoted
+        assert_exact_mst(g2)
+
+    def test_remove_nontree_keeps_tree(self):
+        g = make_graph()
+        e = int(np.flatnonzero(~g.tree_mask)[4])
+        g2, eff = apply_ops(g, [{"kind": "remove", "edge": e}])
+        assert eff.applied == 1 and not eff.tree_affected
+        assert g2.m == g.m - 1 and g2.m_tree == g.m_tree
+        assert eff.old_to_new[e] == -1
+        assert_exact_mst(g2)
+
+    def test_remove_tree_promotes_replacement(self):
+        g = make_graph()
+        # a covered tree edge: its removal must promote the cheapest
+        # crossing non-tree edge, keeping a spanning tree
+        from repro.oracle import build_oracle
+        orc = build_oracle(g, oracle_labels=True)
+        covered = np.flatnonzero(g.tree_mask & np.isfinite(orc.threshold))
+        e = int(covered[0])
+        g2, eff = apply_ops(g, [{"kind": "remove", "edge": e}])
+        assert eff.applied == 1 and eff.tree_affected
+        assert g2.m == g.m - 1 and g2.m_tree == g.m_tree
+        assert_exact_mst(g2)
+
+    def test_remove_bridge_rejected(self):
+        g, _ = known_mst_instance("random", 30, extra_m=2, rng=1)
+        from repro.oracle import build_oracle
+        orc = build_oracle(g, oracle_labels=True)
+        bridges = np.flatnonzero(g.tree_mask & np.isinf(orc.threshold))
+        assert len(bridges), "fixture needs a bridge"
+        g2, eff = apply_ops(g, [{"kind": "remove", "edge": int(bridges[0])}])
+        assert eff.applied == 0
+        assert eff.rejected and "bridge" in eff.rejected[0][1]
+        assert g2.m == g.m  # untouched
+
+    def test_reprice_swaps_in_and_out(self):
+        g = make_graph()
+        nt = int(np.flatnonzero(~g.tree_mask)[0])
+        g2, eff = apply_ops(
+            g, [{"kind": "reprice", "edge": nt,
+                 "weight": float(g.w.min()) / 2}])
+        assert eff.tree_affected and g2.tree_mask[nt]
+        assert_exact_mst(g2)
+        # and back out: price it above everything
+        g3, eff3 = apply_ops(
+            g2, [{"kind": "reprice", "edge": nt,
+                  "weight": float(g2.w.max()) + 5}])
+        assert eff3.tree_affected and not g3.tree_mask[nt]
+        assert_exact_mst(g3)
+
+    def test_mixed_batch_with_rejections(self):
+        g = make_graph()
+        hi = float(g.w.max())
+        nt = np.flatnonzero(~g.tree_mask)
+        ops = [
+            {"kind": "add", "u": 1, "v": 40, "weight": hi + 2},
+            {"kind": "remove", "edge": int(nt[1])},
+            {"kind": "reprice", "edge": int(nt[2]), "weight": hi + 3},
+            {"kind": "remove", "edge": g.m + 999},          # out of range
+            {"kind": "add", "u": 5, "v": 5, "weight": 1.0},  # self-loop
+            {"kind": "frobnicate", "edge": 0},               # unknown kind
+        ]
+        g2, eff = apply_ops(g, coalesce_ops(ops))
+        assert eff.applied == 3 and not eff.tree_affected
+        assert len(eff.rejected) == 3
+        assert g2.m == g.m  # +1 add, -1 remove
+        assert_exact_mst(g2)
+
+    def test_old_to_new_is_a_faithful_position_map(self):
+        g = make_graph()
+        nt = np.flatnonzero(~g.tree_mask)[:3]
+        g2, eff = apply_ops(
+            g, [{"kind": "remove", "edge": int(e)} for e in nt])
+        survivors = np.flatnonzero(eff.old_to_new >= 0)
+        mapped = eff.old_to_new[survivors]
+        assert np.array_equal(g2.u[mapped], g.u[survivors])
+        assert np.array_equal(g2.v[mapped], g.v[survivors])
+        assert np.array_equal(g2.w[mapped], g.w[survivors])
+        assert np.array_equal(g2.tree_mask[mapped], g.tree_mask[survivors])
+
+    def test_random_churn_stays_exact(self):
+        rng = np.random.default_rng(7)
+        g = make_graph(n=60, extra=120, seed=9)
+        for step in range(8):
+            ops = []
+            for _ in range(5):
+                roll = rng.integers(0, 3)
+                if roll == 0:
+                    u, v = rng.integers(0, g.n, size=2)
+                    if u == v:
+                        v = (v + 1) % g.n
+                    ops.append({"kind": "add", "u": int(u), "v": int(v),
+                                "weight": float(rng.uniform(0, 2))})
+                elif roll == 1 and g.m > g.n:
+                    ops.append({"kind": "remove",
+                                "edge": int(rng.integers(0, g.m))})
+                else:
+                    ops.append({"kind": "reprice",
+                                "edge": int(rng.integers(0, g.m)),
+                                "weight": float(rng.uniform(0, 2))})
+            g, _eff = apply_ops(g, coalesce_ops(ops))
+            assert_exact_mst(g)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
