@@ -34,6 +34,7 @@ Examples::
     python -m repro serve --shapes random,grid,power_law --n 2000 --shards 4
     python -m repro serve --workers 4 --n 2000            # router scale-out
     python -m repro route --workers 4 --replication 2 --port 7465
+    python -m repro route --workers 3 --chaos kill:1@2.0  # self-healing demo
     python -m repro loadgen --port 7465 --queries 5000 --churn 10 --shutdown
     python -m repro sweep --n 4096 --diameters 8,32,128,512
     python -m repro lower-bound --sizes 64,256,1024
@@ -192,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "(equivalent to `repro route`)")
     sp.add_argument("--replication", type=int, default=2,
                     help="replicas per instance when --workers > 1")
+    sp.add_argument("--chaos", type=str, default=None, metavar="SPEC",
+                    help="fault-injection plan when --workers > 1, e.g. "
+                         "'kill:1@0.5' (see repro.service.chaos)")
 
     sp = sub.add_parser(
         "route",
@@ -230,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--mmap-dir", type=str, default=None, metavar="DIR",
                     help="snapshot spool shared by router and workers "
                          "(default: a private tempdir)")
+    sp.add_argument("--chaos", type=str, default=None, metavar="SPEC",
+                    help="deterministic fault-injection plan, e.g. "
+                         "'kill:1@0.5,sever:0@2.0' or 'rand:7@3.0' "
+                         "(see repro.service.chaos)")
 
     sp = sub.add_parser(
         "loadgen",
@@ -581,6 +589,7 @@ def cmd_route(args, out) -> int:
         # `serve --workers N` delegates here without the router-only flags
         query_links=getattr(args, "query_links", 2),
         shed_watermark=getattr(args, "shed_watermark", 0.9),
+        chaos=getattr(args, "chaos", None),
     )
 
     async def run() -> None:

@@ -25,19 +25,33 @@ rows against subgraph-scoped fingerprints, and each applied batch is
 one atomic generation swap (re-sharded for the new edge count, shipped
 to replicas unchanged). See DESIGN.md §6.3.
 
+The supervision layer (S24) makes the router tier *self-healing*:
+a :class:`Supervisor` detects worker death (process sentinels +
+heartbeats), re-dials severed links, respawns crashes under a bounded
+:class:`RestartPolicy`, and gates every rejoin behind catch-up from a
+:class:`GenerationLedger` (latest snapshot + patch-log replay), while
+reads retry on live replicas and writes fail over to a promoted
+replica. :mod:`repro.service.chaos` injects deterministic, seeded
+faults (``--chaos`` / the ``chaos`` wire op) so recovery is CI-tested.
+See DESIGN.md §6.4.
+
 Entry points: ``python -m repro serve`` / ``python -m repro route``
 (TCP JSON-lines), :class:`ServiceClient` (in-process or TCP),
 :mod:`repro.service.loadgen`.
 """
 
 from .batching import QUERY_OPS, MicroBatcher, ServiceOverloaded
+from .chaos import ChaosEvent, ChaosInjector, ChaosPlan
 from .metrics import (LatencyReservoir, RouterMetrics, ShardMetrics,
-                      StreamMetrics, UpdateMetrics, merged_latency)
+                      StreamMetrics, SupervisorMetrics, UpdateMetrics,
+                      merged_latency)
 from .placement import Placement
 from .router import RouterConfig, RouterTier, WorkerLink
 from .server import SensitivityService, ServiceClient, ServiceConfig
 from .shards import OracleShard, ShardSpec, plan_shards, route
 from .streaming import StreamIngestor
+from .supervision import (GenerationLedger, LedgerEntry, RestartPolicy,
+                          Supervisor)
 from .updates import BatchReport, InstanceUpdater, UpdateReport
 from .worker_proc import WorkerSpec, WorkerService, worker_entry
 
@@ -45,13 +59,21 @@ __all__ = [
     "QUERY_OPS",
     "MicroBatcher",
     "ServiceOverloaded",
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosPlan",
     "LatencyReservoir",
     "RouterMetrics",
     "ShardMetrics",
     "StreamMetrics",
+    "SupervisorMetrics",
     "UpdateMetrics",
     "merged_latency",
     "Placement",
+    "GenerationLedger",
+    "LedgerEntry",
+    "RestartPolicy",
+    "Supervisor",
     "RouterConfig",
     "RouterTier",
     "WorkerLink",

@@ -31,6 +31,16 @@ edges) at RATE batches per second on a side connection while the query
 storm runs — every applied batch is a generation swap under load, and
 the run fails unless at least two swaps landed with zero errors.
 
+``--chaos SPEC`` arms a deterministic fault-injection plan on the
+router (wire op ``chaos``, grammar in :mod:`repro.service.chaos`)
+right after the instances handshake, so the storm runs over scheduled
+worker kills / severed links / delays. ``--expect-respawns N`` then
+polls the router's supervisor metrics after the storm until at least
+``N`` restarts have completed and no worker is still mid-recovery —
+the run fails if recovery does not land within ``--recovery-timeout``.
+Together they are the CI chaos-smoke: kill a worker mid-storm, demand
+zero failed reads and a finished respawn.
+
 CLI (used by CI)::
 
     python -m repro.service.loadgen --port 7464 --queries 3000 \
@@ -39,6 +49,8 @@ CLI (used by CI)::
         --procs 2 --pipeline 32 --live-update --shutdown
     python -m repro.service.loadgen --port 7465 --queries 5000 \
         --churn 20 --churn-batch 8 --shutdown
+    python -m repro.service.loadgen --port 7465 --queries 8000 \
+        --chaos kill:1@0.5 --expect-respawns 1 --shutdown
 
 Exit status is non-zero when nothing was served or any transport-level
 error occurred (wrong-edge-kind responses are the service answering
@@ -57,7 +69,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = ["QueryPlan", "make_plan", "run_inprocess", "run_tcp",
-           "run_procs", "live_update", "churn_storm", "main"]
+           "run_procs", "live_update", "churn_storm", "arm_chaos",
+           "await_recovery", "main"]
 
 #: op → relative frequency in the default mix.
 DEFAULT_MIX = (
@@ -489,6 +502,53 @@ async def churn_storm(host: str, port: int, instance: str, n: int, m: int,
     return stats
 
 
+async def _oneshot(host: str, port: int, req: Dict,
+                   timeout_s: float = 10.0) -> Dict:
+    """One request, one response, over a throwaway connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((json.dumps(req) + "\n").encode())
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout_s)
+    finally:
+        writer.close()
+    if not line:
+        return {"ok": False, "error": "connection closed"}
+    return json.loads(line)
+
+
+async def arm_chaos(host: str, port: int, spec: str) -> Dict:
+    """Arm a fault-injection plan on a running router (``chaos`` op)."""
+    return await _oneshot(host, port, {"op": "chaos", "spec": spec})
+
+
+async def await_recovery(host: str, port: int, respawns: int,
+                         timeout_s: float = 30.0,
+                         poll_s: float = 0.25) -> Dict:
+    """Poll supervisor metrics until ``respawns`` restarts completed.
+
+    Returns the last supervisor metrics snapshot with ``ok`` set iff
+    the fleet recorded at least ``respawns`` finished restarts before
+    the deadline. Transient connection failures during the poll are
+    retried — the router itself may be busy respawning.
+    """
+    deadline = time.perf_counter() + timeout_s
+    last: Dict = {}
+    while True:
+        try:
+            resp = await _oneshot(host, port, {"op": "metrics"},
+                                  timeout_s=min(timeout_s, 10.0))
+        except (OSError, asyncio.TimeoutError):
+            resp = {}
+        if resp.get("ok"):
+            last = resp["result"].get("supervisor", {})
+            if last.get("restarts", 0) >= respawns:
+                return {"ok": True, **last}
+        if time.perf_counter() >= deadline:
+            return {"ok": False, **last}
+        await asyncio.sleep(poll_s)
+
+
 def _proc_entry(conn, kwargs: Dict) -> None:
     """One forked loadgen process: drive a seeded slice, pipe stats up."""
     async def go() -> None:
@@ -617,6 +677,15 @@ async def _main_async(args) -> int:
     print(f"instances: "
           f"{', '.join(f'{k} (m={v})' for k, v in sorted(instances.items()))}")
 
+    if args.chaos:
+        armed = await arm_chaos(args.host, args.port, args.chaos)
+        if not armed.get("ok"):
+            print(f"chaos arm FAILED: {armed.get('error')}",
+                  file=sys.stderr)
+            return 1
+        print(f"chaos armed: {armed['result']['events']} event(s) "
+              f"({args.chaos})")
+
     update_task = None
     if args.live_update:
         name = sorted(described)[0]
@@ -673,6 +742,22 @@ async def _main_async(args) -> int:
         else:
             print(f"live update FAILED: {upd.get('error')}",
                   file=sys.stderr)
+    recovery_ok = True
+    if args.expect_respawns > 0:
+        rec = await await_recovery(args.host, args.port,
+                                   args.expect_respawns,
+                                   timeout_s=args.recovery_timeout)
+        recovery_ok = rec.pop("ok", False)
+        if recovery_ok:
+            print(f"recovery: {rec.get('restarts')} respawn(s), "
+                  f"{rec.get('failovers')} failover(s), "
+                  f"{rec.get('read_retries')} read retries, "
+                  f"p99 {rec.get('recovery_p99_s')}s, "
+                  f"degraded {rec.get('degraded_s')}s")
+        else:
+            print(f"recovery FAILED: wanted {args.expect_respawns} "
+                  f"respawn(s) within {args.recovery_timeout:.0f}s, "
+                  f"last supervisor snapshot {rec}", file=sys.stderr)
     if args.shutdown:
         try:
             r, w = await asyncio.open_connection(args.host, args.port)
@@ -691,7 +776,7 @@ async def _main_async(args) -> int:
           f"shed {s['shed']}, transport errors {s['errors']}, "
           f"p50 {s['p50_ms']}ms p99 {s['p99_ms']}ms")
     ok = (s["answered"] > 0 and s["qps"] > 0 and s["errors"] == 0
-          and update_ok and churn_ok)
+          and update_ok and churn_ok and recovery_ok)
     return 0 if ok else 1
 
 
@@ -723,6 +808,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          "(on a router: a digest-shipped generation swap)")
     ap.add_argument("--update-delay", type=float, default=0.5,
                     help="seconds into the storm to fire --live-update")
+    ap.add_argument("--chaos", type=str, default=None, metavar="SPEC",
+                    help="arm this fault-injection plan on the router "
+                         "before the storm (e.g. 'kill:1@0.5'; grammar "
+                         "in repro.service.chaos)")
+    ap.add_argument("--expect-respawns", type=int, default=0, metavar="N",
+                    help="after the storm, require >= N completed worker "
+                         "respawns (polls supervisor metrics)")
+    ap.add_argument("--recovery-timeout", type=float, default=30.0,
+                    help="seconds to wait for --expect-respawns to land")
     ap.add_argument("--shutdown", action="store_true",
                     help="send a shutdown op after the run")
     args = ap.parse_args(argv)

@@ -16,7 +16,8 @@ from typing import Dict, Optional
 import numpy as np
 
 __all__ = ["LatencyReservoir", "ShardMetrics", "UpdateMetrics",
-           "StreamMetrics", "RouterMetrics", "merged_latency"]
+           "StreamMetrics", "RouterMetrics", "SupervisorMetrics",
+           "merged_latency"]
 
 
 class LatencyReservoir:
@@ -238,6 +239,53 @@ class RouterMetrics:
             "swap_p50_ms": _ms(self.swap_latency.percentile(50)),
             "swap_p99_ms": _ms(self.swap_latency.percentile(99)),
         }
+
+
+class SupervisorMetrics:
+    """Self-healing counters: what the supervisor did to keep the
+    fleet serving.
+
+    ``deaths_detected`` counts suspicion events (sentinel death, failed
+    heartbeat, or a data-path disconnect reported by the router);
+    ``restarts`` full process respawns and ``links_healed`` severed
+    connections re-dialled without a respawn; ``failovers`` writes
+    retried onto a promoted replica after the acting primary dropped
+    mid-request; ``read_retries`` pure reads transparently re-sent to
+    another live replica; ``resyncs`` stale replicas re-aligned from
+    the generation ledger (snapshot re-adopt + patch-log replay).
+    ``recovery`` holds per-incident time-to-recovery (suspicion →
+    back in the read rotation), and ``degraded_s`` their sum — the
+    total wall time any worker spent out of rotation.
+    """
+
+    def __init__(self, reservoir: int = 256):
+        self.deaths_detected = 0
+        self.restarts = 0
+        self.evictions = 0
+        self.failovers = 0
+        self.read_retries = 0
+        self.resyncs = 0
+        self.links_healed = 0
+        self.degraded_s = 0.0
+        self.recovery = LatencyReservoir(reservoir)
+
+    def snapshot(self) -> Dict:
+        return {
+            "deaths_detected": self.deaths_detected,
+            "restarts": self.restarts,
+            "evictions": self.evictions,
+            "failovers": self.failovers,
+            "read_retries": self.read_retries,
+            "resyncs": self.resyncs,
+            "links_healed": self.links_healed,
+            "degraded_s": round(self.degraded_s, 3),
+            "recovery_p50_s": _s(self.recovery.percentile(50)),
+            "recovery_p99_s": _s(self.recovery.percentile(99)),
+        }
+
+
+def _s(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds, 3)
 
 
 def _ms(seconds: Optional[float]) -> Optional[float]:

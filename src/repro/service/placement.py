@@ -56,6 +56,9 @@ class Placement:
     def __len__(self) -> int:
         return len(self._workers)
 
+    def __contains__(self, worker: object) -> bool:
+        return worker in self._workers
+
     def add_worker(self, worker: int) -> None:
         worker = int(worker)
         if worker in self._workers:

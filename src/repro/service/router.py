@@ -26,6 +26,15 @@ state:
   worker's fraction of its queue bound crosses the shed watermark the
   router sheds *before* forwarding, so overload answers come from the
   cheap tier and saturated workers drain instead of queueing deeper.
+* **supervision** — a :class:`~repro.service.supervision.Supervisor`
+  watches process sentinels and heartbeats, re-dials severed
+  connections, respawns crashed workers under a bounded restart
+  policy, and gates every rejoin behind catch-up from the router's
+  generation ledger. Reads retry transparently on the next live
+  replica (they are pure); writes fail over to a promoted replica
+  when the acting primary is down. Deterministic fault injection
+  lives in :mod:`repro.service.chaos` (``--chaos`` / the ``chaos``
+  wire op).
 
 Forwarding is deliberately thin: worker links are pipelined JSON-lines
 connections with FIFO correlation (the service writes responses in
@@ -52,8 +61,10 @@ from ..mpc.parallel import get_context
 from ..oracle import SensitivityOracle, build_oracle
 from ..serialize import file_digest
 from .batching import QUERY_OPS
+from .chaos import ChaosInjector, ChaosPlan
 from .metrics import RouterMetrics
 from .placement import Placement
+from .supervision import Supervisor
 from .worker_proc import WorkerSpec, worker_entry
 
 __all__ = ["RouterConfig", "RouterTier", "WorkerLink"]
@@ -81,6 +92,14 @@ class RouterConfig:
     shed_watermark: float = 0.9      #: depth fraction that trips router shed
     depth_poll_s: float = 0.02       #: telemetry poll interval
     spawn_timeout_s: float = 120.0   #: worker boot handshake budget
+    supervise: bool = True           #: run the self-healing supervisor
+    heartbeat_s: float = 0.25        #: sentinel + heartbeat cadence
+    heartbeat_timeout_s: float = 3.0  #: ping budget before suspicion
+    read_retry_deadline_s: float = 2.0  #: budget to retry reads elsewhere
+    restart_backoff_s: float = 0.1   #: initial respawn backoff (doubles)
+    max_restarts: int = 5            #: respawns per window before eviction
+    restart_window_s: float = 60.0   #: sliding restart-budget window
+    chaos: Optional[str] = None      #: fault-injection spec (ChaosPlan)
 
 
 class WorkerLink:
@@ -186,10 +205,27 @@ class _Worker:
     telemetry: WorkerLink            #: depth polls + metrics scrapes
     depth: Dict = field(default_factory=dict)
     rr: int = 0
+    up: bool = True                  #: in rotation (supervisor-managed)
+    stale: set = field(default_factory=set)  #: instances pending resync
+    chaos_delay_s: float = 0.0       #: injected read latency (chaos)
+    poller: Optional[asyncio.Task] = None
 
-    def next_link(self) -> WorkerLink:
-        self.rr += 1
-        return self.links[self.rr % len(self.links)]
+    def all_links(self):
+        return (*self.links, self.control, self.telemetry)
+
+    def live_link(self) -> Optional[WorkerLink]:
+        """Next non-dead query link, or ``None`` when all are down."""
+        for _ in range(len(self.links)):
+            self.rr += 1
+            link = self.links[self.rr % len(self.links)]
+            if not link._dead:
+                return link
+        return None
+
+    def routable(self, instance: str) -> bool:
+        """May this worker serve reads of ``instance`` right now?"""
+        return (self.up and instance not in self.stale
+                and any(not link._dead for link in self.links))
 
 
 @dataclass
@@ -224,7 +260,8 @@ class RouterTier:
         self._shutdown = asyncio.Event()
         self._conn_tasks: set = set()
         self._conn_writers: set = set()
-        self._pollers: List[asyncio.Task] = []
+        self.supervisor = Supervisor(self)
+        self._injectors: List[ChaosInjector] = []
         self._spool = self.config.mmap_dir
         self._own_spool: Optional[tempfile.TemporaryDirectory] = None
         self._fwd_count = 0
@@ -239,64 +276,110 @@ class RouterTier:
                 prefix="repro-router-")
             self._spool = self._own_spool.name
         os.makedirs(self._spool, exist_ok=True)
-        ctx = get_context()
-        boots = []
-        for wid in range(self.config.workers):
-            parent_conn, child_conn = ctx.Pipe()
-            spec = WorkerSpec(
-                worker_id=wid, host=self.config.worker_host,
-                shards=self.config.shards, max_batch=self.config.max_batch,
-                batch_window_s=self.config.batch_window_s,
-                queue_depth=self.config.queue_depth,
-                engine=self.config.engine, delta=self.config.delta,
-                oracle_labels=self.config.oracle_labels,
-                mmap_dir=os.path.join(self._spool, f"worker{wid}"),
-                cache_dir=(os.path.join(self.config.cache_dir, f"worker{wid}")
-                           if self.config.cache_dir else None),
-            )
-            proc = ctx.Process(target=worker_entry,
-                               args=(child_conn, spec), daemon=True)
-            proc.start()
-            child_conn.close()
-            boots.append((wid, proc, parent_conn))
-        loop = asyncio.get_running_loop()
+        boots = [(wid, *self._launch_worker(wid))
+                 for wid in range(self.config.workers)]
         deadline = time.perf_counter() + self.config.spawn_timeout_s
         for wid, proc, conn in boots:
             try:
-                budget = max(0.1, deadline - time.perf_counter())
-                msg = await asyncio.wait_for(
-                    loop.run_in_executor(None, conn.recv), budget)
-            except (asyncio.TimeoutError, EOFError, OSError):
+                port = await self._await_ready(wid, proc, conn, deadline)
+                worker = await self._connect_worker(wid, proc, port)
+            except ServiceError:
                 await self._kill_boots(boots)
-                raise ServiceError(
-                    f"worker {wid} failed its boot handshake within "
-                    f"{self.config.spawn_timeout_s:.0f}s",
-                    kind="disconnected")
-            finally:
-                conn.close()
-            assert msg[0] == "ready" and msg[1] == wid
-            port = int(msg[2])
-            links = [await WorkerLink.connect(self.config.worker_host, port)
-                     for _ in range(max(1, self.config.query_links))]
-            control = await WorkerLink.connect(self.config.worker_host, port)
-            telemetry = await WorkerLink.connect(self.config.worker_host,
-                                                 port)
-            self.workers[wid] = _Worker(
-                worker_id=wid, proc=proc, port=port, links=links,
-                control=control, telemetry=telemetry)
+                raise
+            self.workers[wid] = worker
             self.placement.add_worker(wid)
         self.started_at = time.perf_counter()
         for w in self.workers.values():
-            self._pollers.append(
-                asyncio.get_running_loop().create_task(self._poll_depth(w)))
+            self._start_poller(w)
+        self.supervisor.start()
+        if self.config.chaos:
+            self.arm_chaos(ChaosPlan.parse(self.config.chaos))
         if serve_tcp:
             self._server = await asyncio.start_server(
                 self._handle_connection, self.config.host, self.config.port)
+
+    def _launch_worker(self, wid: int):
+        """Fork one worker process; returns its handle + boot pipe."""
+        ctx = get_context()
+        parent_conn, child_conn = ctx.Pipe()
+        spec = WorkerSpec(
+            worker_id=wid, host=self.config.worker_host,
+            shards=self.config.shards, max_batch=self.config.max_batch,
+            batch_window_s=self.config.batch_window_s,
+            queue_depth=self.config.queue_depth,
+            engine=self.config.engine, delta=self.config.delta,
+            oracle_labels=self.config.oracle_labels,
+            mmap_dir=os.path.join(self._spool, f"worker{wid}"),
+            cache_dir=(os.path.join(self.config.cache_dir, f"worker{wid}")
+                       if self.config.cache_dir else None),
+        )
+        proc = ctx.Process(target=worker_entry,
+                           args=(child_conn, spec), daemon=True)
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    async def _await_ready(self, wid: int, proc, conn,
+                           deadline: float) -> int:
+        """Wait for one worker's ``("ready", wid, port)`` handshake."""
+        loop = asyncio.get_running_loop()
+        try:
+            budget = max(0.1, deadline - time.perf_counter())
+            msg = await asyncio.wait_for(
+                loop.run_in_executor(None, conn.recv), budget)
+        except (asyncio.TimeoutError, EOFError, OSError):
+            raise ServiceError(
+                f"worker {wid} failed its boot handshake within "
+                f"{self.config.spawn_timeout_s:.0f}s",
+                kind="disconnected")
+        finally:
+            conn.close()
+        assert msg[0] == "ready" and msg[1] == wid
+        return int(msg[2])
+
+    async def _connect_worker(self, wid: int, proc, port: int) -> _Worker:
+        host = self.config.worker_host
+        links = [await WorkerLink.connect(host, port)
+                 for _ in range(max(1, self.config.query_links))]
+        control = await WorkerLink.connect(host, port)
+        telemetry = await WorkerLink.connect(host, port)
+        return _Worker(worker_id=wid, proc=proc, port=port, links=links,
+                       control=control, telemetry=telemetry)
+
+    async def _respawn_worker(self, w: _Worker) -> None:
+        """Boot a fresh process for a dead worker, reusing its identity.
+
+        The new process keeps the worker id, spool directory, and
+        artifact cache of the old one; its serving state is rebuilt by
+        the supervisor's ledger catch-up before it re-enters rotation.
+        """
+        proc, conn = self._launch_worker(w.worker_id)
+        deadline = time.perf_counter() + self.config.spawn_timeout_s
+        try:
+            port = await self._await_ready(w.worker_id, proc, conn, deadline)
+            fresh = await self._connect_worker(w.worker_id, proc, port)
+        except ServiceError:
+            if proc.is_alive():
+                proc.terminate()
+            raise
+        w.proc, w.port = fresh.proc, fresh.port
+        w.links, w.control = fresh.links, fresh.control
+        w.telemetry = fresh.telemetry
+        w.rr = 0
+        w.depth = {}
+        w.chaos_delay_s = 0.0
 
     async def _kill_boots(self, boots) -> None:
         for _wid, proc, _conn in boots:
             if proc.is_alive():
                 proc.terminate()
+
+    def arm_chaos(self, plan: ChaosPlan) -> ChaosInjector:
+        """Start executing a fault-injection plan against the fleet."""
+        injector = ChaosInjector(plan)
+        injector.start(self)
+        self._injectors.append(injector)
+        return injector
 
     @property
     def tcp_address(self) -> Optional[tuple]:
@@ -312,6 +395,9 @@ class RouterTier:
         if self._stopped:
             return
         self._stopped = True
+        for injector in self._injectors:
+            await injector.stop()
+        await self.supervisor.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -320,11 +406,14 @@ class RouterTier:
             writer.close()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
-        for t in self._pollers:
+        pollers = [w.poller for w in self.workers.values()
+                   if w.poller is not None]
+        for t in pollers:
             t.cancel()
-        if self._pollers:
-            await asyncio.gather(*self._pollers, return_exceptions=True)
-        self._pollers = []
+        if pollers:
+            await asyncio.gather(*pollers, return_exceptions=True)
+        for w in self.workers.values():
+            w.poller = None
         loop = asyncio.get_running_loop()
         for w in self.workers.values():
             try:
@@ -374,16 +463,31 @@ class RouterTier:
         replicas = self.placement.replicas(name, cfg.replication)
         adopt = {"op": "adopt", "instance": name, "path": path,
                  "digest": digest, "generation": 0}
+        targets, offline = [], []
+        for wid in replicas:
+            w = self.workers.get(wid)
+            if w is None:
+                continue
+            (targets if w.up and not w.control._dead else offline).append(w)
+        if not targets:
+            raise ServiceError(
+                f"no live replica available to adopt {name!r}",
+                kind="disconnected")
         results = await asyncio.gather(*(
-            self.workers[wid].control.request(adopt) for wid in replicas))
-        for wid, resp in zip(replicas, results):
+            w.control.request(adopt) for w in targets))
+        for w, resp in zip(targets, results):
             if not resp.get("ok"):
                 raise ServiceError(
-                    f"worker {wid} refused to adopt {name!r}: "
+                    f"worker {w.worker_id} refused to adopt {name!r}: "
                     f"{resp.get('error')}")
         self.instances[name] = _Placed(
             name=name, m=graph.m, n=graph.n, m_tree=graph.m_tree,
             replicas=replicas)
+        self.supervisor.ledger.record_publish(name, path, digest, 0)
+        for w in offline:
+            # a down replica picks the instance up from the ledger when
+            # its recovery drains the stale set
+            w.stale.add(name)
         return {"instance": name, "replicas": replicas,
                 "digest": digest, "path": path}
 
@@ -399,16 +503,21 @@ class RouterTier:
         return self.instances[name]
 
     def _pick_worker(self, placed: _Placed) -> Optional[_Worker]:
-        """Round-robin over the replica set, skipping saturated workers.
+        """Round-robin over the replica set, skipping saturated, dead,
+        and stale workers.
 
-        Returns ``None`` when every replica reports a queue depth past
-        the shed watermark — the router's cue to shed at its own tier.
+        A worker whose query links are down, that the supervisor took
+        out of rotation, or that is stale for this instance is never a
+        candidate — its last depth report is meaningless. Returns
+        ``None`` when no replica can take the read.
         """
         n = len(placed.replicas)
-        for k in range(n):
+        for _ in range(n):
             placed.rr += 1
             wid = placed.replicas[placed.rr % n]
-            w = self.workers[wid]
+            w = self.workers.get(wid)
+            if w is None or not w.routable(placed.name):
+                continue
             info = w.depth.get(placed.name)
             if info is not None and \
                     info.get("fraction", 0.0) >= self.config.shed_watermark:
@@ -418,33 +527,74 @@ class RouterTier:
             return w
         return None
 
+    def _any_routable(self, placed: _Placed) -> bool:
+        return any(
+            (w := self.workers.get(wid)) is not None
+            and w.routable(placed.name)
+            for wid in placed.replicas)
+
     async def _forward_query_raw(self, req: Dict, line: bytes) -> bytes:
-        """The hot path: route by instance, relay raw lines."""
+        """The hot path: route by instance, relay raw lines.
+
+        Reads are pure, so a mid-request disconnect is safe to retry:
+        the query is re-sent to the next live replica until it answers
+        or ``read_retry_deadline_s`` runs out. The deadline also covers
+        the no-replica window of a replication-1 instance whose only
+        worker is mid-respawn. Saturation still sheds immediately —
+        retrying onto an overloaded fleet would only queue deeper.
+        """
         try:
             placed = self._placed(req.get("instance"))
         except ValidationError as exc:
             return self._frame({"ok": False, "error": str(exc)}, req)
-        w = self._pick_worker(placed)
-        if w is None:
-            self.metrics.shed_router += 1
-            return self._frame(
-                {"ok": False, "shed": True, "where": "router",
-                 "error": f"all {len(placed.replicas)} replica(s) of "
-                          f"{placed.name!r} are past the shed watermark"},
-                req)
-        t0 = time.perf_counter()
-        try:
-            raw = await w.next_link().request_raw(line)
-        except ServiceError as exc:
-            self.metrics.worker_errors += 1
-            return self._frame(
-                {"ok": False, "error": str(exc),
-                 "error_kind": "worker-disconnected"}, req)
-        self.metrics.forwarded += 1
-        self._fwd_count += 1
-        if self._fwd_count % 16 == 0:  # stride-sampled router-side rtt
-            self.metrics.latency.extend([time.perf_counter() - t0])
-        return raw
+        deadline = time.perf_counter() + self.config.read_retry_deadline_s
+        while True:
+            w = self._pick_worker(placed)
+            if w is None:
+                if self._any_routable(placed):
+                    # live replicas exist but all are past the shed
+                    # watermark: backpressure, not failure
+                    self.metrics.shed_router += 1
+                    return self._frame(
+                        {"ok": False, "shed": True, "where": "router",
+                         "error": f"all {len(placed.replicas)} replica(s) "
+                                  f"of {placed.name!r} are past the shed "
+                                  f"watermark"},
+                        req)
+                if time.perf_counter() >= deadline:
+                    return self._frame(
+                        {"ok": False,
+                         "error": f"no live replica of {placed.name!r} "
+                                  f"within the retry deadline",
+                         "error_kind": "worker-disconnected"}, req)
+                await asyncio.sleep(0.05)  # a replica is recovering
+                continue
+            if w.chaos_delay_s > 0:
+                await asyncio.sleep(w.chaos_delay_s)
+            link = w.live_link()
+            if link is None:
+                self.supervisor.notify_suspect(w)
+                continue
+            t0 = time.perf_counter()
+            try:
+                raw = await link.request_raw(line)
+            except ServiceError:
+                self.metrics.worker_errors += 1
+                self.supervisor.metrics.read_retries += 1
+                self.supervisor.notify_suspect(w)
+                if time.perf_counter() >= deadline:
+                    return self._frame(
+                        {"ok": False,
+                         "error": f"replicas of {placed.name!r} kept "
+                                  f"disconnecting within the retry "
+                                  f"deadline",
+                         "error_kind": "worker-disconnected"}, req)
+                continue
+            self.metrics.forwarded += 1
+            self._fwd_count += 1
+            if self._fwd_count % 16 == 0:  # stride-sampled router-side rtt
+                self.metrics.latency.extend([time.perf_counter() - t0])
+            return raw
 
     @staticmethod
     def _frame(resp: Dict, req: Dict) -> bytes:
@@ -454,46 +604,126 @@ class RouterTier:
 
     # -- write path ------------------------------------------------------------
 
+    def _acting_primary(self, placed: _Placed) -> Optional[_Worker]:
+        """The first live, current replica — canonical unless it's down.
+
+        Replica order is the rendezvous ranking, so promotion is
+        deterministic: every write lands on the same surviving replica
+        until the canonical primary catches up and takes over again.
+        """
+        for wid in placed.replicas:
+            w = self.workers.get(wid)
+            if (w is not None and w.up and not w.control._dead
+                    and placed.name not in w.stale):
+                return w
+        return None
+
+    async def _primary_request(self, placed: _Placed, fwd: Dict):
+        """Send a write to the acting primary, failing over on death.
+
+        Retrying on the next replica is safe: a primary that died
+        mid-request never had its result shipped to replicas or
+        recorded in the ledger, so readers never observed it — the
+        promoted replica applies the op exactly once onto the last
+        published generation, and the dead worker's private state is
+        discarded at catch-up.
+        """
+        for _ in range(max(1, len(placed.replicas))):
+            primary = self._acting_primary(placed)
+            if primary is None:
+                break
+            try:
+                resp = await primary.control.request(fwd)
+            except ServiceError:
+                self.metrics.worker_errors += 1
+                self.supervisor.notify_suspect(primary)
+                continue
+            if primary.worker_id != placed.replicas[0]:
+                # served by a promoted replica, not the canonical primary
+                self.supervisor.metrics.failovers += 1
+            return primary, resp
+        return None, {"ok": False,
+                      "error": f"no live replica of {placed.name!r} can "
+                               f"take writes",
+                      "error_kind": "worker-disconnected"}
+
+    def _current_replicas(self, placed: _Placed,
+                          exclude: _Worker) -> List[_Worker]:
+        """Fan-out targets: every *other* live, current replica.
+
+        Down or already-stale replicas are skipped — the ledger records
+        what they are missing and catch-up/resync replays it. A replica
+        that is still in rotation but whose control link is dead cannot
+        receive this mutation at all: it is marked stale *here*, before
+        the mutation lands anywhere, so it can never serve reads of a
+        state it silently missed.
+        """
+        out = []
+        for wid in placed.replicas:
+            w = self.workers.get(wid)
+            if w is None or w is exclude:
+                continue
+            if not w.up or placed.name in w.stale:
+                continue
+            if w.control._dead:
+                self._mark_stale(w, placed)
+                continue
+            out.append(w)
+        return out
+
+    def _mark_stale(self, w: _Worker, placed: _Placed) -> None:
+        """A replica missed a mutation: freeze it out of this
+        instance's reads until the supervisor re-aligns it from the
+        ledger (snapshot re-adopt + patch-log replay)."""
+        w.stale.add(placed.name)
+        self.supervisor.schedule_resync(w, placed.name)
+
     async def update(self, req: Dict) -> Dict:
-        """Forward a weight update to the primary, then ship the result.
+        """Forward a weight update to the acting primary, ship the
+        result, and record it in the generation ledger.
 
         * ``rebuilt`` — the primary already published the new
           generation's digest-addressed snapshot; ship ``swap`` to the
-          other replicas and wait for every one to adopt it.
+          other live replicas and wait for every one to adopt it.
         * ``patched`` — fan the same (provably threshold-preserving)
-          update out to the replicas; each applies the two-cell patch.
+          update out to the live replicas; each applies the two-cell
+          patch. A replica that fails its ack is marked stale and
+          resynced before it serves this instance again.
         * ``rejected`` — nothing to ship.
         """
         try:
             placed = self._placed(req.get("instance"))
         except ValidationError as exc:
             return {"ok": False, "error": str(exc)}
-        primary = self.workers[placed.replicas[0]]
         fwd = {"op": "update", "instance": placed.name,
                "edge": req.get("edge", -1),
                "weight": req.get("weight", float("nan"))}
         async with placed.lock:  # one update in flight per instance
             self.metrics.updates += 1
-            try:
-                resp = await primary.control.request(fwd)
-            except ServiceError as exc:
-                self.metrics.worker_errors += 1
-                return {"ok": False, "error": str(exc),
-                        "error_kind": "worker-disconnected"}
-            others = [self.workers[wid] for wid in placed.replicas[1:]]
-            if resp.get("action") == "rebuilt" and others:
-                await self._ship_swap(placed, resp, others)
-            elif resp.get("action") == "patched" and others:
-                acks = await asyncio.gather(
-                    *(w.control.request(fwd) for w in others),
-                    return_exceptions=True)
-                self.metrics.patches_fanned += len(others)
-                for w, ack in zip(others, acks):
-                    if not (isinstance(ack, dict)
-                            and ack.get("action") == "patched"):
-                        self.metrics.worker_errors += 1
+            primary, resp = await self._primary_request(placed, fwd)
+            if primary is None:
+                return resp
+            others = self._current_replicas(placed, exclude=primary)
             if resp.get("action") == "rebuilt":
+                self.supervisor.ledger.record_publish(
+                    placed.name, resp["snapshot_path"],
+                    resp["snapshot_digest"], int(resp["generation"]))
+                if others:
+                    await self._ship_swap(placed, resp, others)
                 placed.generation = int(resp["generation"])
+            elif resp.get("action") == "patched":
+                self.supervisor.ledger.record_patch(
+                    placed.name, fwd["edge"], fwd["weight"])
+                if others:
+                    acks = await asyncio.gather(
+                        *(w.control.request(fwd) for w in others),
+                        return_exceptions=True)
+                    self.metrics.patches_fanned += len(others)
+                    for w, ack in zip(others, acks):
+                        if not (isinstance(ack, dict)
+                                and ack.get("action") == "patched"):
+                            self.metrics.worker_errors += 1
+                            self._mark_stale(w, placed)
         return resp
 
     async def _ship_swap(self, placed: _Placed, resp: Dict,
@@ -519,6 +749,7 @@ class RouterTier:
             ok = isinstance(ack, dict) and ack.get("ok")
             if not ok:
                 self.metrics.worker_errors += 1
+                self._mark_stale(w, placed)
             resp["shipped_to"].append(
                 {"worker": w.worker_id, "ok": bool(ok)})
 
@@ -538,19 +769,18 @@ class RouterTier:
             placed = self._placed(req.get("instance"))
         except ValidationError as exc:
             return {"ok": False, "error": str(exc)}
-        primary = self.workers[placed.replicas[0]]
         fwd = {"op": "update_batch", "instance": placed.name,
                "ops": req.get("ops") or []}
         async with placed.lock:  # one structural change in flight
             self.metrics.updates += 1
-            try:
-                resp = await primary.control.request(fwd)
-            except ServiceError as exc:
-                self.metrics.worker_errors += 1
-                return {"ok": False, "error": str(exc),
-                        "error_kind": "worker-disconnected"}
+            primary, resp = await self._primary_request(placed, fwd)
+            if primary is None:
+                return resp
             if resp.get("action") == "rebuilt":
-                others = [self.workers[wid] for wid in placed.replicas[1:]]
+                self.supervisor.ledger.record_publish(
+                    placed.name, resp["snapshot_path"],
+                    resp["snapshot_digest"], int(resp["generation"]))
+                others = self._current_replicas(placed, exclude=primary)
                 if others:
                     await self._ship_swap(placed, resp, others)
                 placed.generation = int(resp["generation"])
@@ -595,13 +825,32 @@ class RouterTier:
             "qps": round(total_q / uptime, 1) if uptime else 0.0,
             "shed_workers": total_shed,
             "router": self.metrics.snapshot(),
+            "supervisor": self.supervisor.metrics.snapshot(),
+            "ledger": self.supervisor.ledger.snapshot(),
             "workers": per_worker,
         }
 
     # -- backpressure ----------------------------------------------------------
 
+    def _start_poller(self, w: _Worker) -> None:
+        if w.poller is not None and not w.poller.done():
+            return
+        w.poller = asyncio.get_running_loop().create_task(
+            self._poll_depth(w))
+
+    def _stop_poller(self, w: _Worker) -> None:
+        if w.poller is not None:
+            w.poller.cancel()
+            w.poller = None
+
     async def _poll_depth(self, w: _Worker) -> None:
-        """Telemetry loop: keep ``w.depth`` fresh for the shed check."""
+        """Telemetry loop: keep ``w.depth`` fresh for the shed check.
+
+        A failed poll clears the last report — routing on a dead
+        worker's stale depth would keep feeding it traffic. When the
+        telemetry link itself is down the loop ends; the supervisor
+        restarts it after healing or respawning the worker.
+        """
         try:
             while True:
                 try:
@@ -612,10 +861,11 @@ class RouterTier:
                         self.metrics.depth_polls += 1
                 except (ServiceError, asyncio.TimeoutError):
                     self.metrics.worker_errors += 1
-                    await asyncio.sleep(
-                        max(0.2, self.config.depth_poll_s * 5))
+                    w.depth = {}
                     if w.telemetry._dead:
                         return
+                    await asyncio.sleep(
+                        max(0.2, self.config.depth_poll_s * 5))
                 await asyncio.sleep(self.config.depth_poll_s)
         except asyncio.CancelledError:
             raise
@@ -643,6 +893,14 @@ class RouterTier:
             resp = {"ok": True, "result": self.describe_instances()}
         elif op == "ping":
             resp = {"ok": True, "result": "pong"}
+        elif op == "chaos":
+            try:
+                plan = ChaosPlan.parse(str(req.get("spec") or ""))
+            except ValidationError as exc:
+                resp = {"ok": False, "error": str(exc)}
+            else:
+                self.arm_chaos(plan)
+                resp = {"ok": True, "result": {"events": len(plan)}}
         elif op == "shutdown":
             resp = {"ok": True, "result": "bye"}
         else:

@@ -11,6 +11,9 @@ three control ops the router tier needs:
     process on the box), reconstruct the authoritative graph from the
     snapshot's own edge arrays, and start serving at the shipped
     generation. No pipeline stage runs — adoption is O(mmap).
+    Re-adopting an already-registered instance is idempotent: it
+    routes through ``swap``, which is how a rejoining or resyncing
+    replica re-aligns with the router's generation ledger.
 
 ``swap``
     Zero-downtime generation swap: verify + map a newer snapshot and
@@ -164,6 +167,11 @@ class WorkerService(SensitivityService):
     async def _adopt(self, req: Dict) -> Dict:
         try:
             name = req["instance"]
+            if name in self.instances:
+                # idempotent re-adopt: a rejoining or resyncing worker
+                # re-aligns an already-registered instance via the
+                # atomic swap path instead of erroring out
+                return await self._swap(req)
             self.adopt_instance(name, req["path"], req["digest"],
                                 int(req.get("generation", 0)))
         except (KeyError, ValidationError, OSError, ValueError) as exc:
