@@ -606,8 +606,9 @@ def cmd_route(args, out) -> int:
                       f"snapshot={info['digest'][:16]}\n")
         host, port = router.tcp_address
         out.write(f"listening on {host}:{port} "
-                  f"(JSON-lines; ops: sensitivity survives replacement_edge "
-                  f"entry_threshold update metrics instances ping shutdown)\n")
+                  f"(JSON-lines + binary wire v1; ops: sensitivity survives "
+                  f"replacement_edge entry_threshold update metrics "
+                  f"instances ping hello shutdown)\n")
         if hasattr(out, "flush"):
             out.flush()
         try:
@@ -660,8 +661,9 @@ def cmd_serve(args, out) -> int:
         await service.start(serve_tcp=True)
         host, port = service.tcp_address
         out.write(f"listening on {host}:{port} "
-                  f"(JSON-lines; ops: sensitivity survives replacement_edge "
-                  f"entry_threshold update metrics instances ping shutdown)\n")
+                  f"(JSON-lines + binary wire v1; ops: sensitivity survives "
+                  f"replacement_edge entry_threshold update metrics "
+                  f"instances ping hello shutdown)\n")
         if hasattr(out, "flush"):
             out.flush()
         try:

@@ -35,9 +35,19 @@ replica. :mod:`repro.service.chaos` injects deterministic, seeded
 faults (``--chaos`` / the ``chaos`` wire op) so recovery is CI-tested.
 See DESIGN.md §6.4.
 
+The wire layer (S25) removes the data plane's serialisation tax: a
+versioned binary columnar protocol (:mod:`repro.service.wire`) rides
+the *same* TCP ports — the first byte of a connection disambiguates —
+with fixed 16-byte point frames, columnar bulk frames, a per-
+connection ``hello`` symbol handshake (:class:`WireSymbols`) and a
+JSON *escape frame* for control ops. The router relays binary frames
+with zero JSON parser invocations (header peek + byte counting), and
+:class:`WireMetrics` counters prove it. See DESIGN.md §6.5.
+
 Entry points: ``python -m repro serve`` / ``python -m repro route``
-(TCP JSON-lines), :class:`ServiceClient` (in-process or TCP),
-:mod:`repro.service.loadgen`.
+(TCP JSON-lines + binary wire), :class:`ServiceClient` (in-process or
+TCP, ``wire_mode="binary"``), :mod:`repro.service.loadgen`
+(``--wire binary``).
 """
 
 from .batching import QUERY_OPS, MicroBatcher, ServiceOverloaded
@@ -46,8 +56,9 @@ from .metrics import (LatencyReservoir, RouterMetrics, ShardMetrics,
                       StreamMetrics, SupervisorMetrics, UpdateMetrics,
                       merged_latency)
 from .placement import Placement
-from .router import RouterConfig, RouterTier, WorkerLink
+from .router import BinaryWorkerLink, RouterConfig, RouterTier, WorkerLink
 from .server import SensitivityService, ServiceClient, ServiceConfig
+from .wire import WIRE_VERSION, WireError, WireMetrics, WireSymbols
 from .shards import OracleShard, ShardSpec, plan_shards, route
 from .streaming import StreamIngestor
 from .supervision import (GenerationLedger, LedgerEntry, RestartPolicy,
@@ -74,9 +85,14 @@ __all__ = [
     "LedgerEntry",
     "RestartPolicy",
     "Supervisor",
+    "BinaryWorkerLink",
     "RouterConfig",
     "RouterTier",
     "WorkerLink",
+    "WIRE_VERSION",
+    "WireError",
+    "WireMetrics",
+    "WireSymbols",
     "SensitivityService",
     "ServiceClient",
     "ServiceConfig",

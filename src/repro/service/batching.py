@@ -30,6 +30,7 @@ import numpy as np
 
 from ..errors import ValidationError
 from .shards import OracleShard
+from .wire import (ST_INTERNAL, ST_OK, ST_RANGE, ST_TYPE)
 
 __all__ = ["MicroBatcher", "ServiceOverloaded", "QUERY_OPS"]
 
@@ -71,6 +72,7 @@ class MicroBatcher:
         # even at occupancy 1), and Queue's waiter machinery costs
         # several times a deque append
         self._items: deque = deque()
+        self._n_queued = 0  # queries queued; a vector item counts len(edges)
         self._wake = asyncio.Event()
         self._close_wake = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
@@ -78,8 +80,13 @@ class MicroBatcher:
 
     @property
     def depth(self) -> int:
-        """Currently queued (not yet dispatched) queries."""
-        return len(self._items)
+        """Currently queued (not yet dispatched) queries.
+
+        Vector submissions count every query they carry — the router's
+        backpressure shed watches this number, and a 512-row columnar
+        frame is 512 queries' worth of queue, not one.
+        """
+        return self._n_queued
 
     # -- client side -----------------------------------------------------------
 
@@ -101,7 +108,7 @@ class MicroBatcher:
                 "shard worker not running — call `await service.start()` "
                 "before querying"
             )
-        if len(self._items) >= self.queue_depth:
+        if self._n_queued >= self.queue_depth:
             self.shard.metrics.shed += 1
             raise ServiceOverloaded(
                 f"shard {self.shard.spec.shard_id} queue full "
@@ -110,6 +117,47 @@ class MicroBatcher:
         fut = asyncio.get_running_loop().create_future()
         self._items.append((op, int(edge), weight, fut,
                             time.perf_counter()))
+        self._n_queued += 1
+        self._wake.set()
+        return fut
+
+    def submit_vector(self, op: str, edges: np.ndarray,
+                      weights: Optional[np.ndarray] = None
+                      ) -> "asyncio.Future":
+        """Enqueue one already-columnar group of point queries.
+
+        The binary wire path decodes a whole pipelined read into
+        columns; this is its entry point — one queue item, one future,
+        zero per-query boxing. The future resolves to ``(generation,
+        statuses, values)``: a ``u8`` status per row (wire status
+        codes; ``ST_OK`` rows carry their answer in ``values``, range
+        errors carry the edge bound) computed by exactly the same
+        pre-filters and bulk kernels as :meth:`submit`, so answers are
+        bit-identical to the scalar path.
+
+        The whole group sheds as one unit when it does not fit in the
+        remaining queue budget — the wire layer surfaces that as one
+        shed status per row, mirroring what per-query submits against
+        a full queue would have produced.
+        """
+        if self._closing:
+            raise ServiceOverloaded("service is shutting down")
+        if self._task is None:
+            raise ValidationError(
+                "shard worker not running — call `await service.start()` "
+                "before querying"
+            )
+        n = len(edges)
+        if self._n_queued + n > self.queue_depth:
+            self.shard.metrics.shed += n
+            raise ServiceOverloaded(
+                f"shard {self.shard.spec.shard_id} queue full "
+                f"({self.queue_depth})"
+            )
+        fut = asyncio.get_running_loop().create_future()
+        self._items.append((op, np.asarray(edges, dtype=np.int64),
+                            weights, fut, time.perf_counter()))
+        self._n_queued += n
         self._wake.set()
         return fut
 
@@ -158,6 +206,9 @@ class MicroBatcher:
                     pass
             n = min(len(items), self.max_batch)
             batch = [items.popleft() for _ in range(n)]
+            self._n_queued -= sum(
+                len(it[1]) if isinstance(it[1], np.ndarray) else 1
+                for it in batch)
             self._dispatch(batch)
             # yield between back-to-back full batches so submitters
             # (and the rest of the loop) are never starved
@@ -165,9 +216,15 @@ class MicroBatcher:
 
     def _dispatch(self, batch: List[Tuple]) -> None:
         generation, oracle = self.shard.snapshot()  # one consistent read
+        n_queries = 0
         by_op = {}
         for pos, item in enumerate(batch):
-            by_op.setdefault(item[0], []).append(pos)
+            if isinstance(item[1], np.ndarray):
+                n_queries += len(item[1])
+                self._dispatch_vector(item, generation, oracle)
+            else:
+                n_queries += 1
+                by_op.setdefault(item[0], []).append(pos)
         for op, positions in by_op.items():
             try:
                 self._dispatch_op(op, positions, batch, generation, oracle)
@@ -181,7 +238,7 @@ class MicroBatcher:
         # more time bookkeeping latencies than serving large batches)
         step = max(1, len(batch) // 32)
         lats = np.array([done - item[4] for item in batch[::step]])
-        self.shard.metrics.record_batch(len(batch), lats)
+        self.shard.metrics.record_batch(n_queries, lats)
 
     def _dispatch_op(self, op: str, positions: List[int],
                      batch: List[Tuple], generation: int, oracle) -> None:
@@ -229,6 +286,55 @@ class MicroBatcher:
                         wrap=float)
         else:
             raise ValidationError(f"unknown query op {op!r}")
+
+    def _dispatch_vector(self, item: Tuple, generation: int,
+                         oracle) -> None:
+        """Answer one columnar group with wire status codes per row.
+
+        Semantics mirror :meth:`_dispatch_op` exactly — range
+        pre-filter first (the status row carries the edge bound so the
+        client can reconstruct the service's error string verbatim),
+        then the tree/non-tree kind check for the typed ops, then the
+        same bulk kernels on the surviving rows. A kernel exception
+        answers the in-range rows as internal errors instead of
+        killing the worker.
+        """
+        op, edges, weights, fut, _t0 = item
+        n = len(edges)
+        statuses = np.zeros(n, dtype=np.uint8)
+        values = np.zeros(n, dtype=np.float64)
+        in_range = (edges >= 0) & (edges < len(oracle))
+        if not in_range.all():
+            statuses[~in_range] = ST_RANGE
+            values[~in_range] = float(len(oracle))  # the bound, for the msg
+        idx = np.flatnonzero(in_range)
+        e = edges[idx]
+        try:
+            if op == "sensitivity":
+                values[idx] = oracle.sensitivity_bulk(e)
+            elif op == "survives":
+                values[idx] = oracle.survives_bulk(
+                    e, np.asarray(weights, dtype=np.float64)[idx])
+            elif op == "replacement_edge" or op == "entry_threshold":
+                want_tree = op == "replacement_edge"
+                mask = oracle.tree_mask[e]
+                ok = mask if want_tree else ~mask
+                bad = idx[~ok]
+                if len(bad):
+                    statuses[bad] = ST_TYPE
+                    self.shard.metrics.type_errors += len(bad)
+                good = idx[ok]
+                if len(good):
+                    values[good] = (oracle.replacement_edge_bulk(e[ok])
+                                    if want_tree
+                                    else oracle.entry_threshold_bulk(e[ok]))
+            else:
+                raise ValidationError(f"unknown query op {op!r}")
+        except Exception:  # noqa: BLE001 - answer, don't die
+            statuses[idx] = ST_INTERNAL
+            values[idx] = 0.0
+        assert ST_OK == 0  # zeros() above == "row answered fine"
+        _resolve(fut, (generation, statuses, values))
 
     def _typed(self, positions, batch, generation, oracle, edges, *,
                want_tree: bool, bulk, wrap) -> None:

@@ -12,6 +12,18 @@ shed rate and latency percentiles. Two transports behind one engine:
   started alongside the server. ``pipeline > 1`` keeps that many
   requests in flight per connection — the server answers in request
   order, so responses correlate positionally (no request ids).
+  ``wire_mode="binary"`` switches the query storm to the binary
+  columnar protocol (:mod:`repro.service.wire`): each connection
+  negotiates symbols via the ``hello`` escape frame, the whole plan is
+  pre-encoded into one packed 16-byte-record array, and each chunk is
+  a single buffer write answered by ``16 * chunk`` bytes read back and
+  tallied vectorised. Control side-channels (handshake, shutdown,
+  churn, live-update) stay JSON either way.
+
+Driver-side encode time (``json.dumps`` or the columnar packing) is
+measured separately from the round trips and reported as ``encode_s``
+— it is loadgen CPU, not server latency, and the latency percentiles
+exclude it.
 
 One driver process saturates around one core of ``json.dumps``; the
 ``--procs N`` mode forks N whole loadgen processes (same explicit
@@ -45,6 +57,8 @@ CLI (used by CI)::
 
     python -m repro.service.loadgen --port 7464 --queries 3000 \
         --clients 16 --shutdown
+    python -m repro.service.loadgen --port 7464 --queries 3000 \
+        --clients 4 --pipeline 64 --wire binary --shutdown
     python -m repro.service.loadgen --port 7465 --queries 5000 \
         --procs 2 --pipeline 32 --live-update --shutdown
     python -m repro.service.loadgen --port 7465 --queries 5000 \
@@ -67,6 +81,8 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from . import wire
 
 __all__ = ["QueryPlan", "make_plan", "run_inprocess", "run_tcp",
            "run_procs", "live_update", "churn_storm", "arm_chaos",
@@ -134,6 +150,7 @@ class LoadStats:
         self.type_errors = 0
         self.errors = 0
         self.wall_s = 0.0
+        self.encode_s = 0.0   # driver-side encode CPU, outside the RTT clock
         self.latencies: List[float] = []
 
     @property
@@ -163,6 +180,7 @@ class LoadStats:
             "type_errors": self.type_errors,
             "errors": self.errors,
             "wall_s": round(self.wall_s, 4),
+            "encode_s": round(self.encode_s, 4),
             "qps": round(self.qps, 1),
             "p50_ms": round(float(np.percentile(lats, 50)) * 1e3, 3)
             if len(lats) else None,
@@ -187,6 +205,7 @@ class LoadStats:
             out.type_errors += s.type_errors
             out.errors += s.errors
             out.wall_s = max(out.wall_s, s.wall_s)
+            out.encode_s += s.encode_s  # CPU time: sums across drivers
             out.latencies.extend(s.latencies)
         return out
 
@@ -288,21 +307,55 @@ async def run_inprocess(service, plan: QueryPlan, clients: int = 64,
     return stats
 
 
+async def _read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one complete binary frame (header first, then the rest)."""
+    head = await reader.readexactly(wire.HEADER_LEN)
+    need = wire.frame_length(head)
+    return head + await reader.readexactly(need - wire.HEADER_LEN)
+
+
+async def _hello_binary(reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter) -> Dict[str, int]:
+    """Negotiate the binary protocol on a fresh connection.
+
+    The escape frame's leading magic byte is what flips the server's
+    per-connection sniffer to binary; the reply carries the symbol
+    table (instance name → interned u16 id) used to pack requests.
+    """
+    writer.write(wire.encode_escape({"op": "hello",
+                                     "wire": wire.WIRE_VERSION}))
+    await writer.drain()
+    resp = wire.decode_escape(await _read_frame(reader))
+    if not resp.get("ok"):
+        raise ConnectionError(f"binary hello rejected: {resp}")
+    return {k: int(v) for k, v in resp["result"]["symbols"].items()}
+
+
 async def run_tcp(host: str, port: int, plan: QueryPlan, clients: int = 16,
                   connect_timeout_s: float = 15.0,
-                  shutdown: bool = False, pipeline: int = 1) -> LoadStats:
-    """Drive a remote service over ``clients`` JSON-lines connections.
+                  shutdown: bool = False, pipeline: int = 1,
+                  wire_mode: str = "json") -> LoadStats:
+    """Drive a remote service over ``clients`` real connections.
 
     ``pipeline > 1`` writes that many requests per connection before
     reading the responses back. The service (and router) answer a
-    connection strictly in request order, so the k-th response line
+    connection strictly in request order, so the k-th response
     belongs to the k-th request of the chunk — deep pipelining with
     positional correlation, which is also what lets the server's
     micro-batcher see whole chunks instead of one query per RTT.
     Per-query latency is then chunk-granular, so percentiles are
     reported over chunk round-trips divided by chunk size (mean
     in-chunk), not individual RTTs.
+
+    ``wire_mode="binary"`` negotiates the columnar protocol per
+    connection, pre-packs the whole plan into one 16-byte-record array
+    (timed as ``encode_s``, outside the RTT clock), and tallies the
+    fixed-width responses vectorised. In both modes the RTT clock
+    starts only after the chunk payload is built, so the reported
+    percentiles are server+network time, not driver ``json.dumps``.
     """
+    if wire_mode not in ("json", "binary"):
+        raise ValueError(f"unknown wire_mode {wire_mode!r}")
     conns = []
     deadline = time.perf_counter() + connect_timeout_s
     for _ in range(max(1, clients)):
@@ -315,22 +368,12 @@ async def run_tcp(host: str, port: int, plan: QueryPlan, clients: int = 16,
                     raise
                 await asyncio.sleep(0.2)
 
-    locks = [asyncio.Lock() for _ in conns]
+    total = len(plan)
+    chunk_n = max(1, pipeline)
 
-    async def submit(wid: int, req: Dict) -> Dict:
-        reader, writer = conns[wid % len(conns)]
-        async with locks[wid % len(conns)]:  # one request in flight per conn
-            writer.write((json.dumps(req) + "\n").encode())
-            await writer.drain()
-            line = await reader.readline()
-        if not line:
-            return {"ok": False, "error": "connection closed"}
-        return json.loads(line)
-
-    async def drive_pipelined() -> LoadStats:
+    async def drive_jsonl() -> LoadStats:
         stats = LoadStats()
         counter = {"next": 0}
-        total = len(plan)
 
         async def worker(wid: int) -> None:
             reader, writer = conns[wid % len(conns)]
@@ -338,18 +381,21 @@ async def run_tcp(host: str, port: int, plan: QueryPlan, clients: int = 16,
                 i0 = counter["next"]
                 if i0 >= total:
                     return
-                i1 = min(i0 + pipeline, total)
+                i1 = min(i0 + chunk_n, total)
                 counter["next"] = i1
-                chunk = [plan.request(i) for i in range(i0, i1)]
+                t_enc = time.perf_counter()
+                payload = wire.join_lines(
+                    plan.request(i) for i in range(i0, i1))
                 t0 = time.perf_counter()
-                writer.write(
-                    "".join(json.dumps(r) + "\n" for r in chunk).encode())
+                stats.encode_s += t0 - t_enc
+                writer.write(payload)
                 try:
                     await writer.drain()
-                    lines = [await reader.readline() for _ in chunk]
+                    lines = [await reader.readline()
+                             for _ in range(i1 - i0)]
                 except (ConnectionError, OSError):
-                    lines = [b""] * len(chunk)
-                per_query = (time.perf_counter() - t0) / len(chunk)
+                    lines = [b""] * (i1 - i0)
+                per_query = (time.perf_counter() - t0) / (i1 - i0)
                 for line in lines:
                     if not line:
                         stats.sent += 1
@@ -362,13 +408,81 @@ async def run_tcp(host: str, port: int, plan: QueryPlan, clients: int = 16,
         stats.wall_s = time.perf_counter() - t0
         return stats
 
+    async def drive_binary() -> LoadStats:
+        stats = LoadStats()
+        counter = {"next": 0}
+        symbols: Dict[str, int] = {}
+        for reader, writer in conns:   # every conn flips to binary
+            symbols = await _hello_binary(reader, writer)
+        # pack the whole plan once: one 16-byte record per query
+        t_enc = time.perf_counter()
+        arr = np.zeros(total, dtype=wire.POINT_DTYPE)
+        arr["magic"] = wire.MAGIC
+        arr["type"] = np.array([wire.OP_CODE[op] for op in plan.ops],
+                               dtype=np.uint8)
+        arr["iid"] = np.array([symbols[w] for w in plan.instances],
+                              dtype=np.uint16)
+        arr["edge"] = plan.edges.astype(np.uint32)
+        arr["weight"] = plan.weights
+        stats.encode_s += time.perf_counter() - t_enc
+        shed_codes = (wire.ST_SHED, wire.ST_SHED_ROUTER)
+
+        async def worker(wid: int) -> None:
+            reader, writer = conns[wid % len(conns)]
+            while True:
+                i0 = counter["next"]
+                if i0 >= total:
+                    return
+                i1 = min(i0 + chunk_n, total)
+                counter["next"] = i1
+                cnt = i1 - i0
+                t_e = time.perf_counter()
+                payload = arr[i0:i1].tobytes()
+                t0 = time.perf_counter()
+                stats.encode_s += t0 - t_e
+                writer.write(payload)
+                try:
+                    await writer.drain()
+                    data = await reader.readexactly(wire.POINT_LEN * cnt)
+                except (asyncio.IncompleteReadError, ConnectionError,
+                        OSError):
+                    stats.sent += cnt
+                    stats.errors += cnt
+                    return        # this conn is dead; others drain the plan
+                per_query = (time.perf_counter() - t0) / cnt
+                resp = np.frombuffer(data, dtype=wire.RESP_DTYPE)
+                statuses = resp["type"] & 0x0F
+                n_ok = int(np.count_nonzero(statuses == wire.ST_OK))
+                n_type = int(np.count_nonzero(statuses == wire.ST_TYPE))
+                n_shed = int(np.count_nonzero(np.isin(statuses,
+                                                      shed_codes)))
+                stats.sent += cnt
+                stats.answered += n_ok + n_type
+                stats.type_errors += n_type
+                stats.shed += n_shed
+                stats.errors += cnt - n_ok - n_type - n_shed
+                stats.latencies.extend([per_query] * (n_ok + n_type))
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*(worker(w) for w in range(len(conns))))
+        stats.wall_s = time.perf_counter() - t0
+        return stats
+
     try:
-        if pipeline > 1:
-            stats = await drive_pipelined()
+        if wire_mode == "binary":
+            stats = await drive_binary()
         else:
-            stats = await _drive(submit, plan, len(conns))
+            stats = await drive_jsonl()
         if shutdown:
-            await submit(0, {"op": "shutdown"})
+            reader, writer = conns[0]
+            if wire_mode == "binary":
+                writer.write(wire.encode_escape({"op": "shutdown"}))
+                await writer.drain()
+                await _read_frame(reader)
+            else:
+                writer.write(b'{"op": "shutdown"}\n')
+                await writer.drain()
+                await reader.readline()
     finally:
         for _, writer in conns:
             writer.close()
@@ -559,11 +673,13 @@ def _proc_entry(conn, kwargs: Dict) -> None:
             clients=kwargs["clients"],
             connect_timeout_s=kwargs["connect_timeout_s"],
             pipeline=kwargs["pipeline"],
+            wire_mode=kwargs.get("wire_mode", "json"),
         )
         conn.send({
             "sent": stats.sent, "answered": stats.answered,
             "shed": stats.shed, "type_errors": stats.type_errors,
             "errors": stats.errors, "wall_s": stats.wall_s,
+            "encode_s": stats.encode_s,
             "latencies": stats.latencies,
         })
 
@@ -578,7 +694,8 @@ def _proc_entry(conn, kwargs: Dict) -> None:
 async def run_procs(host: str, port: int, instances: Dict[str, int],
                     queries: int, procs: int, clients: int = 16,
                     seed: int = 0, pipeline: int = 1,
-                    connect_timeout_s: float = 15.0) -> LoadStats:
+                    connect_timeout_s: float = 15.0,
+                    wire_mode: str = "json") -> LoadStats:
     """Fork ``procs`` loadgen processes and merge their LoadStats.
 
     Each child draws its own plan (``seed + 1000 * proc_id``) over an
@@ -597,7 +714,8 @@ async def run_procs(host: str, port: int, instances: Dict[str, int],
         kw = {"host": host, "port": port, "instances": instances,
               "queries": share, "clients": clients,
               "seed": seed + 1000 * pid, "pipeline": pipeline,
-              "connect_timeout_s": connect_timeout_s}
+              "connect_timeout_s": connect_timeout_s,
+              "wire_mode": wire_mode}
         p = ctx.Process(target=_proc_entry, args=(child_conn, kw),
                         daemon=True)
         p.start()
@@ -623,6 +741,7 @@ async def run_procs(host: str, port: int, instances: Dict[str, int],
             part.type_errors = msg["type_errors"]
             part.errors = msg["errors"]
             part.wall_s = msg["wall_s"]
+            part.encode_s = msg.get("encode_s", 0.0)
             part.latencies = msg["latencies"]
         parts.append(part)
     for p, _ in kids:
@@ -707,13 +826,15 @@ async def _main_async(args) -> int:
             args.host, args.port, instances, args.queries,
             procs=args.procs, clients=args.clients, seed=args.seed,
             pipeline=args.pipeline,
-            connect_timeout_s=args.connect_timeout)
+            connect_timeout_s=args.connect_timeout,
+            wire_mode=args.wire)
     else:
         plan = make_plan(instances, args.queries, seed=args.seed)
         stats = await run_tcp(args.host, args.port, plan,
                               clients=args.clients,
                               connect_timeout_s=args.connect_timeout,
-                              pipeline=args.pipeline)
+                              pipeline=args.pipeline,
+                              wire_mode=args.wire)
     churn_ok = True
     if churn_task is not None:
         churn_stop.set()
@@ -772,9 +893,10 @@ async def _main_async(args) -> int:
             if args.procs > 1 else f"{args.clients} clients")
     print(f"served {s['answered']:,} of {s['sent']:,} queries in "
           f"{s['wall_s']:.2f}s ({s['qps']:,.0f} qps, {mode}, "
-          f"pipeline {args.pipeline}), "
+          f"pipeline {args.pipeline}, wire {args.wire}), "
           f"shed {s['shed']}, transport errors {s['errors']}, "
-          f"p50 {s['p50_ms']}ms p99 {s['p99_ms']}ms")
+          f"p50 {s['p50_ms']}ms p99 {s['p99_ms']}ms, "
+          f"driver encode {s['encode_s']:.2f}s")
     ok = (s["answered"] > 0 and s["qps"] > 0 and s["errors"] == 0
           and update_ok and churn_ok and recovery_ok)
     return 0 if ok else 1
@@ -797,6 +919,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--pipeline", type=int, default=1,
                     help="requests kept in flight per connection "
                          "(responses correlate positionally)")
+    ap.add_argument("--wire", choices=("json", "binary"), default="json",
+                    help="query-storm protocol: JSON lines or the "
+                         "binary columnar protocol (control side "
+                         "channels stay JSON either way)")
     ap.add_argument("--churn", type=float, default=0.0, metavar="RATE",
                     help="stream structural update_batch ops at RATE "
                          "batches/s while the storm runs (add/reprice/"

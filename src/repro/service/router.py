@@ -54,12 +54,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..errors import ServiceError, ValidationError
 from ..graph.graph import WeightedGraph
 from ..mpc import MPCConfig
 from ..mpc.parallel import get_context
 from ..oracle import SensitivityOracle, build_oracle
 from ..serialize import file_digest
+from . import wire
 from .batching import QUERY_OPS
 from .chaos import ChaosInjector, ChaosPlan
 from .metrics import RouterMetrics
@@ -67,7 +70,7 @@ from .placement import Placement
 from .supervision import Supervisor
 from .worker_proc import WorkerSpec, worker_entry
 
-__all__ = ["RouterConfig", "RouterTier", "WorkerLink"]
+__all__ = ["RouterConfig", "RouterTier", "WorkerLink", "BinaryWorkerLink"]
 
 
 @dataclass
@@ -173,12 +176,156 @@ class WorkerLink:
     async def request(self, req: Dict,
                       timeout_s: Optional[float] = None) -> Dict:
         """Parsed request/response (control + telemetry paths)."""
-        line = (json.dumps(req) + "\n").encode()
+        line = wire.dumps_line(req)
         if timeout_s is None:
             raw = await self.request_raw(line)
         else:
             raw = await asyncio.wait_for(self.request_raw(line), timeout_s)
         return json.loads(raw)
+
+    async def close(self) -> None:
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class BinaryWorkerLink:
+    """One pipelined *binary* connection with byte-counted correlation.
+
+    The router's zero-parse relay rides these: a run of k point frames
+    is answered by exactly 16k response bytes in FIFO order (the worker
+    answers every point frame with one fixed-width frame, errors
+    included), so correlation is a deque of ``("fixed", nbytes, fut)``
+    entries and the read loop never inspects a payload — it only counts
+    bytes. Escape round-trips (the re-hello path) enqueue a
+    ``("frame", None, fut)`` entry, whose length comes from the 8-byte
+    header alone. No JSON parser ever runs on this connection's data
+    path.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: deque = deque()
+        self._have_work = asyncio.Event()
+        self._buf = bytearray()
+        self._dead = False
+        self.version = 0          #: symbol-table size last negotiated
+        self._task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int, names: List[str],
+                      timeout_s: float = 10.0) -> "BinaryWorkerLink":
+        """Dial + negotiate: the hello dictates ``names`` in id order.
+
+        The hello escape frame is also what flips the worker's
+        connection sniffer to binary (its first byte is ``MAGIC``).
+        """
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout_s)
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServiceError(f"worker connect {host}:{port} failed: {exc}",
+                               kind="disconnected")
+        try:
+            writer.write(wire.encode_escape(
+                {"op": "hello", "wire": wire.WIRE_VERSION,
+                 "instances": names}))
+            await writer.drain()
+            head = await asyncio.wait_for(
+                reader.readexactly(wire.HEADER_LEN), timeout_s)
+            length = wire.frame_length(head)
+            frame = head + await asyncio.wait_for(
+                reader.readexactly(length - wire.HEADER_LEN), timeout_s)
+            resp = wire.decode_escape(frame)
+        except (OSError, ConnectionError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError, wire.WireError) as exc:
+            writer.close()
+            raise ServiceError(
+                f"binary hello to {host}:{port} failed: {exc}",
+                kind="disconnected")
+        if not resp.get("ok"):
+            writer.close()
+            raise ServiceError(
+                f"worker {host}:{port} rejected hello: {resp.get('error')}",
+                kind="protocol")
+        link = cls(reader, writer)
+        link.version = len(names)
+        return link
+
+    async def _fill(self) -> None:
+        data = await self._reader.read(1 << 16)
+        if not data:
+            raise ConnectionError("worker closed the binary link")
+        self._buf += data
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                if not self._pending:
+                    self._have_work.clear()
+                    await self._have_work.wait()
+                kind, nbytes, fut = self._pending[0]
+                if kind == "frame":
+                    while (need := wire.frame_length(self._buf)) is None:
+                        await self._fill()
+                else:
+                    need = nbytes
+                while len(self._buf) < need:
+                    await self._fill()
+                chunk = bytes(self._buf[:need])
+                del self._buf[:need]
+                self._pending.popleft()
+                if not fut.done():
+                    fut.set_result(chunk)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                wire.WireError):
+            pass
+        finally:
+            self._dead = True
+            while self._pending:
+                entry = self._pending.popleft()
+                if not entry[2].done():
+                    entry[2].set_exception(ServiceError(
+                        "worker connection lost with requests in flight",
+                        kind="disconnected"))
+
+    async def _submit(self, payload: bytes, entry) -> bytes:
+        if self._dead:
+            raise ServiceError("worker link is down", kind="disconnected")
+        self._pending.append(entry)
+        self._have_work.set()
+        self._writer.write(payload)
+        try:
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(f"worker link write failed: {exc}",
+                               kind="disconnected")
+        return await entry[2]
+
+    async def request_run(self, payload: bytes, nframes: int) -> bytes:
+        """Relay a run of point frames; await its 16-byte-per-frame
+        answer block. Pure byte splicing on both directions."""
+        fut = asyncio.get_running_loop().create_future()
+        return await self._submit(
+            payload, ("fixed", nframes * wire.POINT_LEN, fut))
+
+    async def request_escape(self, req: Dict,
+                             timeout_s: Optional[float] = None) -> Dict:
+        """One JSON control op over the binary link (re-hello)."""
+        fut = asyncio.get_running_loop().create_future()
+        coro = self._submit(wire.encode_escape(req), ("frame", None, fut))
+        raw = (await coro if timeout_s is None
+               else await asyncio.wait_for(coro, timeout_s))
+        return wire.decode_escape(raw)
 
     async def close(self) -> None:
         self._task.cancel()
@@ -203,21 +350,33 @@ class _Worker:
     links: List[WorkerLink]          #: pipelined query links (round-robin)
     control: WorkerLink              #: adopt/swap/update/shutdown
     telemetry: WorkerLink            #: depth polls + metrics scrapes
+    bin_links: List[BinaryWorkerLink] = field(default_factory=list)
     depth: Dict = field(default_factory=dict)
     rr: int = 0
+    bin_rr: int = 0
+    wire_version: int = 0            #: symbols dictated to this process
     up: bool = True                  #: in rotation (supervisor-managed)
     stale: set = field(default_factory=set)  #: instances pending resync
     chaos_delay_s: float = 0.0       #: injected read latency (chaos)
     poller: Optional[asyncio.Task] = None
 
     def all_links(self):
-        return (*self.links, self.control, self.telemetry)
+        return (*self.links, *self.bin_links, self.control, self.telemetry)
 
     def live_link(self) -> Optional[WorkerLink]:
         """Next non-dead query link, or ``None`` when all are down."""
         for _ in range(len(self.links)):
             self.rr += 1
             link = self.links[self.rr % len(self.links)]
+            if not link._dead:
+                return link
+        return None
+
+    def live_bin_link(self) -> Optional[BinaryWorkerLink]:
+        """Next non-dead binary relay link, or ``None``."""
+        for _ in range(len(self.bin_links)):
+            self.bin_rr += 1
+            link = self.bin_links[self.bin_rr % len(self.bin_links)]
             if not link._dead:
                 return link
         return None
@@ -261,6 +420,11 @@ class RouterTier:
         self._conn_tasks: set = set()
         self._conn_writers: set = set()
         self.supervisor = Supervisor(self)
+        #: router-owned symbol registry; its id order is dictated to
+        #: every worker so relayed binary frames never rewrite iids
+        self.wire_symbols = wire.WireSymbols()
+        self.wire = {"json": wire.WireMetrics(),
+                     "binary": wire.WireMetrics()}
         self._injectors: List[ChaosInjector] = []
         self._spool = self.config.mmap_dir
         self._own_spool: Optional[tempfile.TemporaryDirectory] = None
@@ -343,8 +507,15 @@ class RouterTier:
                  for _ in range(max(1, self.config.query_links))]
         control = await WorkerLink.connect(host, port)
         telemetry = await WorkerLink.connect(host, port)
+        # the binary hello dictates the router's global symbol order to
+        # this (possibly fresh) process, so relayed frame iids mean the
+        # same instance on both sides of the splice
+        names = self.wire_symbols.names()
+        bin_links = [await BinaryWorkerLink.connect(host, port, names)
+                     for _ in range(max(1, self.config.query_links))]
         return _Worker(worker_id=wid, proc=proc, port=port, links=links,
-                       control=control, telemetry=telemetry)
+                       control=control, telemetry=telemetry,
+                       bin_links=bin_links, wire_version=len(names))
 
     async def _respawn_worker(self, w: _Worker) -> None:
         """Boot a fresh process for a dead worker, reusing its identity.
@@ -365,7 +536,10 @@ class RouterTier:
         w.proc, w.port = fresh.proc, fresh.port
         w.links, w.control = fresh.links, fresh.control
         w.telemetry = fresh.telemetry
+        w.bin_links = fresh.bin_links
+        w.wire_version = fresh.wire_version
         w.rr = 0
+        w.bin_rr = 0
         w.depth = {}
         w.chaos_delay_s = 0.0
 
@@ -420,7 +594,7 @@ class RouterTier:
                 await w.control.request({"op": "shutdown"}, timeout_s=10.0)
             except (ServiceError, asyncio.TimeoutError):
                 pass
-            for link in (*w.links, w.control, w.telemetry):
+            for link in w.all_links():
                 await link.close()
         for w in self.workers.values():
             await loop.run_in_executor(None, w.proc.join, 10.0)
@@ -480,6 +654,8 @@ class RouterTier:
                 raise ServiceError(
                     f"worker {w.worker_id} refused to adopt {name!r}: "
                     f"{resp.get('error')}")
+        self.wire_symbols.intern(name)
+        await self._sync_all_symbols()  # before any frame can carry the iid
         self.instances[name] = _Placed(
             name=name, m=graph.m, n=graph.n, m_tree=graph.m_tree,
             replicas=replicas)
@@ -490,6 +666,49 @@ class RouterTier:
             w.stale.add(name)
         return {"instance": name, "replicas": replicas,
                 "digest": digest, "path": path}
+
+    # -- wire-symbol dictation -------------------------------------------------
+
+    async def _sync_symbols(self, w: _Worker) -> None:
+        """Push the router's symbol table to one worker (idempotent).
+
+        The hello rides the JSON control link — it works even while the
+        binary links are being healed — and lists every name in global
+        id order, so the worker's append-only table ends positionally
+        identical to the router's.
+        """
+        names = self.wire_symbols.names()
+        if w.wire_version >= len(names) or w.control._dead:
+            return
+        resp = await w.control.request({"op": "hello", "instances": names})
+        if resp.get("ok"):
+            w.wire_version = len(names)
+
+    async def _sync_all_symbols(self) -> None:
+        for w in self.workers.values():
+            try:
+                await self._sync_symbols(w)
+            except ServiceError:
+                # a worker that misses the sync re-hellos at heal or
+                # respawn time, before it can serve binary relays again
+                self.supervisor.notify_suspect(w)
+
+    async def hello(self, req: Dict) -> Dict:
+        """Front-door negotiation: intern, dictate to workers, reply.
+
+        Workers are synced *before* the reply so a client can never
+        hold an iid the fleet does not understand yet.
+        """
+        names = req.get("instances")
+        if names is None:
+            names = sorted(self.instances)
+        try:
+            symbols = self.wire_symbols.intern_all(str(n) for n in names)
+        except wire.WireError as exc:
+            return {"ok": False, "error": str(exc)}
+        await self._sync_all_symbols()
+        return {"ok": True,
+                "result": {"wire": wire.WIRE_VERSION, "symbols": symbols}}
 
     # -- read path -------------------------------------------------------------
 
@@ -600,7 +819,7 @@ class RouterTier:
     def _frame(resp: Dict, req: Dict) -> bytes:
         if "id" in req:
             resp["id"] = req["id"]
-        return (json.dumps(resp) + "\n").encode()
+        return wire.dumps_line(resp)
 
     # -- write path ------------------------------------------------------------
 
@@ -825,6 +1044,8 @@ class RouterTier:
             "qps": round(total_q / uptime, 1) if uptime else 0.0,
             "shed_workers": total_shed,
             "router": self.metrics.snapshot(),
+            "wire": {proto: wm.snapshot()
+                     for proto, wm in self.wire.items()},
             "supervisor": self.supervisor.metrics.snapshot(),
             "ledger": self.supervisor.ledger.snapshot(),
             "workers": per_worker,
@@ -893,6 +1114,8 @@ class RouterTier:
             resp = {"ok": True, "result": self.describe_instances()}
         elif op == "ping":
             resp = {"ok": True, "result": "pong"}
+        elif op == "hello":
+            resp = await self.hello(req)
         elif op == "chaos":
             try:
                 plan = ChaosPlan.parse(str(req.get("spec") or ""))
@@ -911,19 +1134,46 @@ class RouterTier:
 
     # -- TCP front door --------------------------------------------------------
 
+    #: bytes pulled per read on a binary front-door connection
+    READ_SIZE = 1 << 16
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        """Front door: first byte picks JSON-lines or binary relay."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._conn_writers.add(writer)
+        try:
+            try:
+                first = await reader.readexactly(1)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            if first[0] == wire.MAGIC:
+                self.wire["binary"].connections += 1
+                await self._serve_binary_front(reader, writer, first)
+            else:
+                self.wire["json"].connections += 1
+                await self._serve_jsonl_front(reader, writer, first)
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _serve_jsonl_front(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter,
+                                 first: bytes) -> None:
         """Pipelined, in-order front door (the service's discipline).
 
         Query ops take the raw relay path — the original request line is
         forwarded and the worker's response line is written back without
         re-serialisation; everything else goes through parsed dispatch.
         """
-        task = asyncio.current_task()
-        if task is not None:
-            self._conn_tasks.add(task)
-            task.add_done_callback(self._conn_tasks.discard)
-        self._conn_writers.add(writer)
+        wm = self.wire["json"]
         order: asyncio.Queue = asyncio.Queue(maxsize=self.PIPELINE_LIMIT)
 
         async def write_in_order() -> None:
@@ -938,9 +1188,13 @@ class RouterTier:
                     resp = {"ok": False,
                             "error": f"{type(exc).__name__}: {exc}"}
                 if isinstance(resp, (bytes, bytearray)):
-                    writer.write(resp)
+                    payload = resp
                 else:
-                    writer.write((json.dumps(resp) + "\n").encode())
+                    payload = wire.dumps_line(resp)
+                    wm.json_encodes += 1
+                wm.frames_out += 1
+                wm.bytes_out += len(payload)
+                writer.write(payload)
                 await writer.drain()
                 if is_shutdown:
                     self._shutdown.set()
@@ -951,13 +1205,17 @@ class RouterTier:
         try:
             while not wtask.done():
                 try:
-                    line = await reader.readline()
+                    line = first + await reader.readline()
+                    first = b""
                 except (ConnectionError, OSError):
                     break
                 if not line:
                     break
+                wm.frames_in += 1
+                wm.bytes_in += len(line)
                 try:
                     req = json.loads(line)
+                    wm.json_decodes += 1
                     if not isinstance(req, dict):
                         raise ValueError("request must be a JSON object")
                 except ValueError as exc:
@@ -992,9 +1250,205 @@ class RouterTier:
                         await item[0]
                     except (asyncio.CancelledError, Exception):  # noqa: BLE001
                         pass
-            self._conn_writers.discard(writer)
-            writer.close()
+
+    # -- binary front door: zero-parse relay -----------------------------------
+
+    async def _serve_binary_front(self, reader: asyncio.StreamReader,
+                                  writer: asyncio.StreamWriter,
+                                  first: bytes) -> None:
+        """Relay binary frames with **zero parse** on the read path.
+
+        A run of point frames is split on instance-id boundaries — the
+        iid sits at a fixed header offset, lifted by one vectorised
+        column view, never a JSON parser — and each segment is spliced
+        onto a replica's binary link as raw bytes. Shed, retry and
+        failover decisions use the peeked header columns alone;
+        synthesized status frames answer what cannot be forwarded.
+        Control ops arrive as escape frames and take the parsed
+        dispatch, exactly like the JSON door.
+        """
+        wm = self.wire["binary"]
+        loop = asyncio.get_running_loop()
+        order: asyncio.Queue = asyncio.Queue(maxsize=self.PIPELINE_LIMIT)
+
+        async def write_in_order() -> None:
+            while True:
+                item = await order.get()
+                if item is None:
+                    return
+                fut, is_shutdown = item
+                try:
+                    payload = await fut
+                except Exception as exc:  # noqa: BLE001
+                    wm.json_encodes += 1
+                    payload = wire.encode_escape(
+                        {"ok": False,
+                         "error": f"{type(exc).__name__}: {exc}"})
+                wm.bytes_out += len(payload)
+                writer.write(payload)
+                await writer.drain()
+                if is_shutdown:
+                    self._shutdown.set()
+                    return
+
+        wtask = loop.create_task(write_in_order())
+        buf = bytearray(first)
+        closing = False
+        try:
+            while not wtask.done() and not closing:
+                try:
+                    data = await reader.read(self.READ_SIZE)
+                except (ConnectionError, OSError):
+                    break
+                if not data:
+                    break
+                buf += data
+                while buf and not closing:
+                    run = wire.point_run_length(buf)
+                    if run:
+                        payload = bytes(buf[:run * wire.POINT_LEN])
+                        del buf[:run * wire.POINT_LEN]
+                        wm.frames_in += run
+                        wm.bytes_in += len(payload)
+                        await order.put(
+                            (loop.create_task(
+                                self._relay_point_run(payload, wm)), False))
+                        continue
+                    length = wire.frame_length(buf)
+                    if length is None or len(buf) < length:
+                        break
+                    frame = bytes(buf[:length])
+                    del buf[:length]
+                    wm.frames_in += 1
+                    wm.bytes_in += length
+                    if frame[1] == wire.ESCAPE:
+                        wm.json_decodes += 1
+                        req = wire.decode_escape(frame)
+                        is_shutdown = req.get("op") == "shutdown"
+                        await order.put(
+                            (loop.create_task(
+                                self._answer_escape(req, wm)), is_shutdown))
+                        if is_shutdown:
+                            closing = True
+                    else:
+                        # bulk frames are a worker-door format; the
+                        # router relays point runs and control only
+                        raise wire.WireError(
+                            f"frame type 0x{frame[1]:02x} is not "
+                            f"routable")
+        except wire.WireError as exc:
+            wm.json_encodes += 1
+            fut: asyncio.Future = loop.create_future()
+            fut.set_result(wire.encode_escape(
+                {"ok": False, "error": f"wire protocol error: {exc}",
+                 "error_kind": "protocol"}))
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
+                order.put_nowait((fut, False))
+            except asyncio.QueueFull:  # pragma: no cover - dead peer
                 pass
+        finally:
+            if not wtask.done():
+                try:
+                    order.put_nowait(None)
+                except asyncio.QueueFull:
+                    wtask.cancel()
+            try:
+                await wtask
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+            while not order.empty():
+                item = order.get_nowait()
+                if item is not None:
+                    item[0].cancel()
+                    try:
+                        await item[0]
+                    except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                        pass
+
+    async def _answer_escape(self, req: Dict, wm) -> bytes:
+        """One control op off the binary door, parsed dispatch."""
+        resp = await self.handle_request(req)
+        wm.json_encodes += 1
+        wm.frames_out += 1
+        return wire.encode_escape(resp)
+
+    @staticmethod
+    def _synth_status(count: int, status: int, value: float = 0.0) -> bytes:
+        """``count`` synthesized point-response frames (router-answered)."""
+        resp = np.zeros(count, dtype=wire.RESP_DTYPE)
+        resp["magic"] = wire.MAGIC
+        resp["type"] = wire.RESP_BASE | status
+        resp["value"] = value
+        return resp.tobytes()
+
+    async def _relay_point_run(self, payload: bytes, wm) -> bytes:
+        """Answer one decoded run: split on iid boundaries, splice.
+
+        Segments relay concurrently (each retries independently); the
+        answer blocks concatenate back in request order, preserving the
+        connection's FIFO contract.
+        """
+        iids = np.frombuffer(payload, dtype=wire.POINT_DTYPE)["iid"]
+        cuts = [0, *(np.flatnonzero(np.diff(iids)) + 1), len(iids)]
+        loop = asyncio.get_running_loop()
+        parts = [
+            loop.create_task(self._relay_segment(
+                int(iids[lo]),
+                payload[lo * wire.POINT_LEN:hi * wire.POINT_LEN],
+                hi - lo))
+            for lo, hi in zip(cuts, cuts[1:])
+        ]
+        out = b"".join([await p for p in parts])
+        wm.frames_out += len(iids)
+        return out
+
+    async def _relay_segment(self, iid: int, seg: bytes,
+                             count: int) -> bytes:
+        """One single-instance slice of a run: the zero-parse analogue
+        of :meth:`_forward_query_raw`, synthesizing status frames for
+        everything the JSON path answers with router-built envelopes.
+        """
+        name = self.wire_symbols.name_of(iid)
+        placed = self.instances.get(name) if name is not None else None
+        if placed is None:
+            return self._synth_status(count, wire.ST_UNKNOWN_INSTANCE)
+        deadline = time.perf_counter() + self.config.read_retry_deadline_s
+        while True:
+            w = self._pick_worker(placed)
+            if w is None:
+                if self._any_routable(placed):
+                    self.metrics.shed_router += count
+                    return self._synth_status(
+                        count, wire.ST_SHED_ROUTER,
+                        value=float(len(placed.replicas)))
+                if time.perf_counter() >= deadline:
+                    return self._synth_status(
+                        count, wire.ST_DISCONNECTED)
+                await asyncio.sleep(0.05)  # a replica is recovering
+                continue
+            if w.chaos_delay_s > 0:
+                await asyncio.sleep(w.chaos_delay_s)
+            link = w.live_bin_link()
+            if link is None:
+                self.supervisor.notify_suspect(w)
+                if time.perf_counter() >= deadline:
+                    return self._synth_status(
+                        count, wire.ST_DISCONNECTED, value=1.0)
+                await asyncio.sleep(0.01)  # don't spin while it heals
+                continue
+            t0 = time.perf_counter()
+            try:
+                raw = await link.request_run(seg, count)
+            except ServiceError:
+                self.metrics.worker_errors += 1
+                self.supervisor.metrics.read_retries += 1
+                self.supervisor.notify_suspect(w)
+                if time.perf_counter() >= deadline:
+                    return self._synth_status(
+                        count, wire.ST_DISCONNECTED, value=1.0)
+                continue
+            self.metrics.forwarded += count
+            self._fwd_count += 1
+            if self._fwd_count % 16 == 0:  # stride-sampled router-side rtt
+                self.metrics.latency.extend([time.perf_counter() - t0])
+            return raw

@@ -35,15 +35,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import struct
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..errors import ServiceError, ValidationError
 from ..graph.graph import WeightedGraph
 from ..mpc import MPCConfig
 from ..oracle import SensitivityOracle
 from ..pipeline import ArtifactStore
+from . import wire
 from .batching import QUERY_OPS, MicroBatcher, ServiceOverloaded
 from .metrics import merged_latency
 from .shards import OracleShard, ShardSpec, plan_shards, route
@@ -97,6 +101,12 @@ class SensitivityService:
         self._started = False
         self._conn_tasks: set = set()
         self._conn_writers: set = set()
+        #: per-connection-negotiated protocols share one listener; the
+        #: symbol registry interns instance names to dense u16 ids and
+        #: the per-protocol WireMetrics account both front doors
+        self.wire_symbols = wire.WireSymbols()
+        self.wire = {"json": wire.WireMetrics(),
+                     "binary": wire.WireMetrics()}
 
     # -- instance lifecycle ----------------------------------------------------
 
@@ -403,6 +413,8 @@ class SensitivityService:
             # service-wide percentiles: pooled shard reservoirs, not a
             # percentile of per-shard percentiles (which composes wrong)
             "latency": merged_latency(reservoirs),
+            "wire": {proto: wm.snapshot()
+                     for proto, wm in self.wire.items()},
             "instances": per_instance,
         }
 
@@ -449,6 +461,8 @@ class SensitivityService:
             resp = {"ok": True, "result": self.describe_instances()}
         elif op == "ping":
             resp = {"ok": True, "result": "pong"}
+        elif op == "hello":
+            resp = self.hello(req)
         elif op == "shutdown":
             resp = {"ok": True, "result": "bye"}
         else:
@@ -457,13 +471,73 @@ class SensitivityService:
             resp["id"] = req["id"]
         return resp
 
+    def hello(self, req: Dict) -> Dict:
+        """Binary-protocol negotiation: intern names, return the table.
+
+        With an explicit ``instances`` list the names are interned *in
+        the given order* — the router uses this to dictate its own
+        global id order to every worker, so relayed frames never need
+        id rewriting. Without one, every currently registered instance
+        is interned in sorted order (what a standalone client wants).
+        Ids are dense, append-only and process-global, so repeated
+        hellos only ever extend the table.
+        """
+        names = req.get("instances")
+        if names is None:
+            names = sorted(self.instances)
+        try:
+            symbols = self.wire_symbols.intern_all(str(n) for n in names)
+        except wire.WireError as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True,
+                "result": {"wire": wire.WIRE_VERSION, "symbols": symbols}}
+
     #: In-flight pipelined requests allowed per connection before the
     #: reader stops pulling new lines (per-shard queues bound the real
     #: backlog; this only stops one connection from hogging the loop).
     PIPELINE_LIMIT = 1024
 
+    #: bytes pulled per read on a binary connection (a few thousand
+    #: point frames per syscall when the client pipelines deeply)
+    READ_SIZE = 1 << 16
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        """One connection, protocol negotiated by its very first byte.
+
+        ``0xB7`` (:data:`~repro.service.wire.MAGIC`) can never open a
+        JSON request and ``{`` can never open a binary frame, so the
+        first byte routes the whole connection to the matching handler
+        — old JSON-lines clients keep working untouched on the same
+        port, new clients opt into the binary framing per connection.
+        """
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._conn_writers.add(writer)
+        try:
+            try:
+                first = await reader.readexactly(1)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            if first[0] == wire.MAGIC:
+                self.wire["binary"].connections += 1
+                await self._serve_binary(reader, writer, first)
+            else:
+                self.wire["json"].connections += 1
+                await self._serve_jsonl(reader, writer, first)
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _serve_jsonl(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter,
+                           first: bytes) -> None:
         """One JSON-lines connection, **pipelined with in-order replies**.
 
         The reader keeps pulling request lines and dispatches each as
@@ -476,11 +550,7 @@ class SensitivityService:
         FIFO-correlated worker links are built on. A serial
         one-request-at-a-time client observes exactly the old protocol.
         """
-        task = asyncio.current_task()
-        if task is not None:
-            self._conn_tasks.add(task)
-            task.add_done_callback(self._conn_tasks.discard)
-        self._conn_writers.add(writer)
+        wm = self.wire["json"]
         order: asyncio.Queue = asyncio.Queue(maxsize=self.PIPELINE_LIMIT)
 
         async def write_in_order() -> None:
@@ -494,7 +564,13 @@ class SensitivityService:
                 except Exception as exc:  # noqa: BLE001 - answer, don't die
                     resp = {"ok": False,
                             "error": f"{type(exc).__name__}: {exc}"}
-                writer.write((json.dumps(resp) + "\n").encode())
+                t0 = time.perf_counter_ns()
+                payload = wire.dumps_line(resp)
+                wm.record_encode(1, time.perf_counter_ns() - t0)
+                wm.json_encodes += 1
+                wm.frames_out += 1
+                wm.bytes_out += len(payload)
+                writer.write(payload)
                 await writer.drain()
                 if is_shutdown:
                     self._shutdown.set()
@@ -504,13 +580,19 @@ class SensitivityService:
         try:
             while not wtask.done():
                 try:
-                    line = await reader.readline()
+                    line = first + await reader.readline()
+                    first = b""
                 except (ConnectionError, OSError):
                     break
                 if not line:
                     break
+                wm.frames_in += 1
+                wm.bytes_in += len(line)
                 try:
+                    t0 = time.perf_counter_ns()
                     req = json.loads(line)
+                    wm.record_decode(1, time.perf_counter_ns() - t0)
+                    wm.json_decodes += 1
                     if not isinstance(req, dict):
                         raise ValueError("request must be a JSON object")
                 except ValueError as exc:
@@ -545,12 +627,249 @@ class SensitivityService:
                         await item[0]
                     except (asyncio.CancelledError, Exception):  # noqa: BLE001
                         pass
-            self._conn_writers.discard(writer)
-            writer.close()
+
+    async def _serve_binary(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter,
+                            first: bytes) -> None:
+        """One binary connection: batched decode, columnar answers.
+
+        Same pipelined in-order discipline as the JSON door, but the
+        unit of work is a *run* of frames per read, not a line:
+        contiguous 16-byte point frames lift into numpy columns with
+        one ``frombuffer`` and answer with one ``tobytes``; bulk and
+        escape frames dispatch individually. A framing violation (bad
+        magic — e.g. a JSON client that negotiated binary — unknown
+        type, oversized length) answers with a structured escape error
+        and closes the connection; it never hangs and never kills the
+        handler task.
+        """
+        wm = self.wire["binary"]
+        loop = asyncio.get_running_loop()
+        order: asyncio.Queue = asyncio.Queue(maxsize=self.PIPELINE_LIMIT)
+
+        async def write_in_order() -> None:
+            while True:
+                item = await order.get()
+                if item is None:
+                    return
+                fut, is_shutdown = item
+                try:
+                    payload = await fut
+                except Exception as exc:  # noqa: BLE001 - answer, don't die
+                    wm.json_encodes += 1
+                    payload = wire.encode_escape(
+                        {"ok": False,
+                         "error": f"{type(exc).__name__}: {exc}"})
+                wm.bytes_out += len(payload)
+                writer.write(payload)
+                await writer.drain()
+                if is_shutdown:
+                    self._shutdown.set()
+                    return
+
+        wtask = loop.create_task(write_in_order())
+        buf = bytearray(first)
+        closing = False
+        try:
+            while not wtask.done() and not closing:
+                try:
+                    data = await reader.read(self.READ_SIZE)
+                except (ConnectionError, OSError):
+                    break
+                if not data:
+                    break
+                buf += data
+                while buf and not closing:
+                    run = wire.point_run_length(buf)
+                    if run:
+                        t0 = time.perf_counter_ns()
+                        arr = np.frombuffer(
+                            bytes(buf[:run * wire.POINT_LEN]),
+                            dtype=wire.POINT_DTYPE)
+                        del buf[:run * wire.POINT_LEN]
+                        wm.record_decode(run, time.perf_counter_ns() - t0)
+                        wm.frames_in += run
+                        wm.bytes_in += run * wire.POINT_LEN
+                        await order.put(
+                            (loop.create_task(
+                                self._answer_point_run(arr, wm)), False))
+                        continue
+                    length = wire.frame_length(buf)
+                    if length is None or len(buf) < length:
+                        break  # incomplete frame: wait for more bytes
+                    frame = bytes(buf[:length])
+                    del buf[:length]
+                    wm.frames_in += 1
+                    wm.bytes_in += length
+                    ftype = frame[1]
+                    if ftype == wire.ESCAPE:
+                        wm.json_decodes += 1
+                        req = wire.decode_escape(frame)
+                        is_shutdown = req.get("op") == "shutdown"
+                        await order.put(
+                            (loop.create_task(
+                                self._answer_escape(req, wm)), is_shutdown))
+                        if is_shutdown:
+                            closing = True
+                    elif wire.POINT_OF_BULK.get(ftype) is not None:
+                        t0 = time.perf_counter_ns()
+                        op, iid, edges, weights = \
+                            wire.decode_bulk_request(frame)
+                        wm.record_decode(1, time.perf_counter_ns() - t0)
+                        await order.put(
+                            (loop.create_task(
+                                self._answer_bulk(op, int(iid), edges,
+                                                  weights, wm)), False))
+                    else:
+                        raise wire.WireError(
+                            f"frame type 0x{ftype:02x} is not a request")
+        except wire.WireError as exc:
+            wm.json_encodes += 1
+            fut: asyncio.Future = loop.create_future()
+            fut.set_result(wire.encode_escape(
+                {"ok": False, "error": f"wire protocol error: {exc}",
+                 "error_kind": "protocol"}))
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
+                order.put_nowait((fut, False))
+            except asyncio.QueueFull:  # pragma: no cover - dead peer
                 pass
+        finally:
+            if not wtask.done():
+                try:
+                    order.put_nowait(None)
+                except asyncio.QueueFull:
+                    wtask.cancel()
+            try:
+                await wtask
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass  # peer vanished mid-write: drop queued answers
+            while not order.empty():
+                item = order.get_nowait()
+                if item is not None:
+                    item[0].cancel()
+                    try:
+                        await item[0]
+                    except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                        pass
+
+    def _group_point_columns(self, arr: np.ndarray, statuses: np.ndarray,
+                             resp: np.ndarray) -> list:
+        """Split one decoded run into per-(instance, op, shard) vector
+        submissions.
+
+        Rows that cannot be routed (unknown instance id, shed at
+        submit time) get their status written in place; everything
+        else comes back as ``(rows, shard_id, future)`` work for the
+        caller to gather. No per-request dicts anywhere.
+        """
+        pending = []
+        iids = arr["iid"]
+        for iid in np.unique(iids):
+            pos = np.flatnonzero(iids == iid)
+            name = self.wire_symbols.name_of(int(iid))
+            inst = self.instances.get(name) if name is not None else None
+            if inst is None:
+                statuses[pos] = wire.ST_UNKNOWN_INSTANCE
+                continue
+            specs, batchers = inst.specs, inst.batchers
+            edges = arr["edge"][pos].astype(np.int64)
+            if len(specs) == 1:
+                shard_of = np.zeros(len(pos), dtype=np.int64)
+            else:
+                # out-of-range ids clip to the edge shards, whose
+                # batchers answer them with the exact range error
+                bounds = np.array([s.edge_lo for s in specs[1:]],
+                                  dtype=np.int64)
+                shard_of = np.searchsorted(bounds, edges, side="right")
+            types = arr["type"][pos]
+            for op_code in np.unique(types):
+                op = wire.OP_NAME[int(op_code)]
+                sel = types == op_code
+                for shard_i in np.unique(shard_of[sel]):
+                    take = np.flatnonzero(sel & (shard_of == shard_i))
+                    rows = pos[take]
+                    weights = (arr["weight"][rows]
+                               if op == "survives" else None)
+                    try:
+                        fut = batchers[shard_i].submit_vector(
+                            op, edges[take], weights)
+                    except ServiceOverloaded:
+                        statuses[rows] = wire.ST_SHED
+                        resp["shard"][rows] = shard_i
+                        resp["value"][rows] = batchers[shard_i].queue_depth
+                        continue
+                    pending.append((rows, int(shard_i), fut))
+        return pending
+
+    async def _answer_point_run(self, arr: np.ndarray, wm) -> bytes:
+        """Answer one decoded run of point frames, columnar end to end."""
+        n = len(arr)
+        resp = np.zeros(n, dtype=wire.RESP_DTYPE)
+        resp["magic"] = wire.MAGIC
+        statuses = np.zeros(n, dtype=np.uint8)
+        pending = self._group_point_columns(arr, statuses, resp)
+        for rows, shard_i, fut in pending:
+            generation, st, vals = await fut
+            statuses[rows] = st
+            resp["generation"][rows] = generation
+            resp["shard"][rows] = shard_i
+            resp["value"][rows] = vals
+        t0 = time.perf_counter_ns()
+        resp["type"] = wire.RESP_BASE | statuses
+        payload = resp.tobytes()
+        wm.record_encode(n, time.perf_counter_ns() - t0)
+        wm.frames_out += n
+        return payload
+
+    async def _answer_bulk(self, op: str, iid: int, edges: np.ndarray,
+                           weights, wm) -> bytes:
+        """Answer one columnar bulk query with one columnar response.
+
+        The response carries a single generation field; a query that
+        spans shards reports the newest generation touched (per-row
+        generations would cost 4 bytes/row on a path built to be lean
+        — the point path carries them exactly).
+        """
+        n = len(edges)
+        statuses = np.zeros(n, dtype=np.uint8)
+        values = np.zeros(n, dtype=np.float64)
+        name = self.wire_symbols.name_of(iid)
+        inst = self.instances.get(name) if name is not None else None
+        if inst is None:
+            statuses[:] = wire.ST_UNKNOWN_INSTANCE
+            return wire.encode_bulk_response(
+                wire.OP_CODE[op], 0xFFFF, 0, statuses, values)
+        arr = np.zeros(n, dtype=wire.POINT_DTYPE)
+        arr["type"] = wire.OP_CODE[op]
+        arr["iid"] = iid
+        arr["edge"] = edges
+        if weights is not None:
+            arr["weight"] = weights
+        resp = np.zeros(n, dtype=wire.RESP_DTYPE)  # scratch for shed rows
+        pending = self._group_point_columns(arr, statuses, resp)
+        generation, shard = 0, 0xFFFF
+        for rows, shard_i, fut in pending:
+            gen, st, vals = await fut
+            statuses[rows] = st
+            values[rows] = vals
+            generation = max(generation, int(gen))
+            shard = shard_i if len(pending) == 1 else 0xFFFF
+        shed = statuses == wire.ST_SHED
+        if shed.any():
+            values[shed] = resp["value"][shed]
+        t0 = time.perf_counter_ns()
+        payload = wire.encode_bulk_response(
+            wire.OP_CODE[op], shard, generation, statuses, values)
+        wm.record_encode(1, time.perf_counter_ns() - t0)
+        wm.frames_out += 1
+        return payload
+
+    async def _answer_escape(self, req: Dict, wm) -> bytes:
+        """Control ops ride JSON inside the escape frame, both ways."""
+        resp = await self.handle_request(req)
+        wm.json_encodes += 1
+        wm.frames_out += 1
+        return wire.encode_escape(resp)
 
 
 class ServiceClient:
@@ -570,20 +889,35 @@ class ServiceClient:
     so callers distinguish "peer said no" from "peer went away".
     """
 
+    #: one point request/response frame (client side encodes one at a
+    #: time under the call lock; pipelined encoding lives in loadgen)
+    _POINT = struct.Struct("<BBHId")
+
     def __init__(self, service: Optional[SensitivityService] = None,
                  instance: Optional[str] = None):
         self.service = service
         self.instance = instance
+        self.wire_mode = "json"
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock: Optional[asyncio.Lock] = None
+        self._symbols: Dict[str, int] = {}
 
     @classmethod
     async def connect(cls, host: str, port: int,
                       instance: Optional[str] = None,
-                      connect_timeout_s: float = 10.0) -> "ServiceClient":
-        """Open a TCP JSON-lines connection to a running service."""
+                      connect_timeout_s: float = 10.0,
+                      wire_mode: str = "json") -> "ServiceClient":
+        """Open a TCP connection to a running service.
+
+        ``wire_mode="binary"`` negotiates the binary protocol on this
+        connection (a ``hello`` handshake interns instance names); the
+        default keeps the JSON-lines protocol byte-for-byte as before.
+        """
+        if wire_mode not in ("json", "binary"):
+            raise ValidationError(f"unknown wire mode {wire_mode!r}")
         client = cls(instance=instance)
+        client.wire_mode = wire_mode
         try:
             client._reader, client._writer = await asyncio.wait_for(
                 asyncio.open_connection(host, port), connect_timeout_s
@@ -596,7 +930,60 @@ class ServiceClient:
             raise ServiceError(f"connect to {host}:{port} failed: {exc}",
                                kind="disconnected")
         client._lock = asyncio.Lock()
+        if wire_mode == "binary":
+            await client._hello()
         return client
+
+    async def _hello(self, names: Optional[List[str]] = None) -> None:
+        """(Re-)negotiate the symbol table over an escape frame."""
+        req = {"op": "hello"}
+        if names is not None:
+            req["instances"] = names
+        resp = await self._roundtrip_escape(req)
+        if not resp.get("ok"):
+            raise ServiceError(
+                f"hello rejected: {resp.get('error')}", kind="protocol")
+        self._symbols.update(resp["result"]["symbols"])
+
+    async def _read_frame(self) -> bytes:
+        """One complete binary frame off the connection (under lock)."""
+        head = await self._reader.readexactly(wire.HEADER_LEN)
+        length = wire.frame_length(head)
+        if length == wire.HEADER_LEN:
+            return head
+        return head + await self._reader.readexactly(length - wire.HEADER_LEN)
+
+    async def _roundtrip_escape(self, req: Dict) -> Dict:
+        """One control op as an escape frame, response decoded to dict."""
+        async with self._lock:
+            try:
+                self._writer.write(wire.encode_escape(req))
+                await self._writer.drain()
+                frame = await self._read_frame()
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    OSError) as exc:
+                raise ServiceError(
+                    f"connection lost mid-call ({req.get('op')}): "
+                    f"{type(exc).__name__}: {exc}", kind="disconnected")
+        if frame[1] != wire.ESCAPE:
+            raise ServiceError(
+                f"expected escape response, got frame type "
+                f"0x{frame[1]:02x}", kind="protocol")
+        return wire.decode_escape(frame)
+
+    def _iid_of(self, name: Optional[str]) -> Optional[int]:
+        """Resolve an instance name to its interned id, if possible.
+
+        ``None`` means "fall back to the escape frame" — an unnamed
+        instance on a multi-instance server, or a name the server has
+        not interned for us yet — where the JSON dispatch produces the
+        exact error envelope this client should see.
+        """
+        if name is None:
+            if len(self._symbols) == 1:
+                return next(iter(self._symbols.values()))
+            return None
+        return self._symbols.get(name)
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -617,9 +1004,11 @@ class ServiceClient:
         if self._writer is None:
             raise ServiceError("client is not connected",
                                kind="disconnected")
+        if self.wire_mode == "binary":
+            return await self._call_binary(op, req)
         async with self._lock:  # one request in flight per connection
             try:
-                self._writer.write((json.dumps(req) + "\n").encode())
+                self._writer.write(wire.dumps_line(req))
                 await self._writer.drain()
                 line = await self._reader.readline()
             except (ConnectionError, asyncio.IncompleteReadError,
@@ -636,6 +1025,94 @@ class ServiceClient:
         except ValueError as exc:
             raise ServiceError(f"unparseable response line: {exc}",
                                kind="protocol")
+
+    async def _call_binary(self, op: str, req: Dict) -> Dict:
+        """One request over the binary connection.
+
+        Point queries that fit the fixed frame (known instance, u32
+        edge, real weight) go as 16-byte frames and decode back to the
+        exact dict the JSON path would return. Everything else —
+        control ops, and the degenerate queries whose error envelopes
+        only the JSON dispatch can produce (negative edge, missing
+        survives weight, unknown instance) — rides the escape frame
+        and comes back as the server's own JSON.
+        """
+        if op in QUERY_OPS:
+            iid = self._iid_of(req.get("instance"))
+            if iid is None and req.get("instance") is not None:
+                await self._hello()  # maybe interned since we connected
+                iid = self._iid_of(req.get("instance"))
+            edge, weight = req.get("edge"), req.get("weight")
+            fits = (iid is not None
+                    and isinstance(edge, int)
+                    and 0 <= edge < 2 ** 32
+                    and (weight is not None or op != "survives")
+                    and "id" not in req)
+            if fits:
+                frame = self._POINT.pack(
+                    wire.MAGIC, wire.OP_CODE[op], iid, edge,
+                    float(weight) if weight is not None else 0.0)
+                async with self._lock:
+                    try:
+                        self._writer.write(frame)
+                        await self._writer.drain()
+                        resp = await self._read_frame()
+                    except (ConnectionError, asyncio.IncompleteReadError,
+                            OSError) as exc:
+                        raise ServiceError(
+                            f"connection lost mid-call ({op}): "
+                            f"{type(exc).__name__}: {exc}",
+                            kind="disconnected")
+                if resp[1] == wire.ESCAPE:
+                    return wire.decode_escape(resp)
+                rec = np.frombuffer(resp, dtype=wire.RESP_DTYPE)[0]
+                name = req.get("instance")
+                if name is None:  # the single interned instance
+                    name = next(n for n, i in self._symbols.items()
+                                if i == iid)
+                return wire.point_response_to_dict(op, edge, rec, name)
+        try:
+            return await self._roundtrip_escape(req)
+        except asyncio.IncompleteReadError:
+            raise ServiceError(
+                f"server closed the connection mid-call ({op})",
+                kind="disconnected")
+
+    async def bulk(self, op: str, edges, weights=None,
+                   instance: Optional[str] = None):
+        """One columnar bulk query over a binary connection.
+
+        Returns ``(shard, generation, statuses, values)`` — raw wire
+        columns, zero boxing. ``shard`` is 0xFFFF when the query
+        spanned shards (or failed before reaching one).
+        """
+        if self.wire_mode != "binary" or self._writer is None:
+            raise ServiceError(
+                "bulk queries need a binary TCP connection "
+                "(ServiceClient.connect(..., wire_mode='binary'))",
+                kind="protocol")
+        name = instance if instance is not None else self.instance
+        iid = self._iid_of(name)
+        if iid is None:
+            await self._hello()
+            iid = self._iid_of(name)
+        if iid is None:
+            raise ValidationError(f"unknown instance {name!r}")
+        frame = wire.encode_bulk_request(op, iid, edges, weights)
+        async with self._lock:
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+                resp = await self._read_frame()
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    OSError) as exc:
+                raise ServiceError(
+                    f"connection lost mid-call (bulk {op}): "
+                    f"{type(exc).__name__}: {exc}", kind="disconnected")
+        if resp[1] == wire.ESCAPE:
+            err = wire.decode_escape(resp)
+            raise ServiceError(str(err.get("error")), kind="protocol")
+        return wire.decode_bulk_response(resp)
 
     async def _value(self, op: str, **kw):
         resp = await self.call(op, **kw)

@@ -279,7 +279,7 @@ class Supervisor:
 
     async def _try_heal(self, w: "_Worker") -> bool:
         """Re-dial dead links to a live process; verify with a ping."""
-        from .router import WorkerLink
+        from .router import BinaryWorkerLink, WorkerLink
 
         host = self.router.config.worker_host
         healed = 0
@@ -289,6 +289,18 @@ class Supervisor:
                     await link.close()
                     w.links[i] = await WorkerLink.connect(host, w.port, 5.0)
                     healed += 1
+            # binary relay links re-negotiate on dial: the hello
+            # re-dictates the router's full symbol table, which is
+            # idempotent on a live process and restores id order on one
+            # whose table was lost
+            names = self.router.wire_symbols.names()
+            for i, link in enumerate(w.bin_links):
+                if link._dead:
+                    await link.close()
+                    w.bin_links[i] = await BinaryWorkerLink.connect(
+                        host, w.port, names, 5.0)
+                    healed += 1
+                    w.wire_version = max(w.wire_version, len(names))
             if w.control._dead:
                 await w.control.close()
                 w.control = await WorkerLink.connect(host, w.port, 5.0)
